@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's evaluation artifacts (or an
+extension experiment from DESIGN.md's per-experiment index) and:
+
+* asserts the qualitative claim it reproduces (so a silent regression
+  fails the suite), and
+* renders the paper-style table both to stdout and to
+  ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name, text):
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = "\n===== %s =====\n" % name
+    print(banner + text)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        )
+
+    return runner

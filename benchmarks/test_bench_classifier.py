@@ -1,0 +1,71 @@
+"""X6 -- Classifier clustering strategies vs. analysis distribution.
+
+Section 3.2: the classifier's data-clustering is "precisely" what lets
+analysis be divided without loss of meaning.  The strategy determines the
+job granularity the processor grid can spread: by-group yields 3 clusters,
+by-device yields one per device, by-site collapses everything at one site.
+More clusters = finer placement, at the price of more jobs/messages.
+"""
+
+from repro.core.system import GridManagementSystem
+from repro.evaluation.experiments import _grid_spec_for
+from repro.evaluation.tables import format_table
+from repro.simkernel.resources import ResourceKind
+from repro.workloads.scenarios import scaling_scenario
+
+from conftest import emit
+
+STRATEGIES = ("by-group", "by-device", "by-site")
+
+
+def _run(strategy):
+    scenario = scaling_scenario(6, 6)  # 6 devices, 18 requests
+    spec = _grid_spec_for(
+        scenario, seed=21, cluster_strategy=strategy, analyzer_count=3,
+        dataset_threshold=scenario.total_requests,
+    )
+    system = GridManagementSystem(spec)
+    system.assign_goals(system.make_paper_goals(polls_per_type=6))
+    completed = system.run_until_records(18, timeout=6000)
+    report = system.utilization_report(strategy)
+    analysis_rows = [row for row in report if row.role == "analysis"]
+    cluster_jobs = [
+        job for job in system.root.jobs.values() if job.level < 3
+    ]
+    return {
+        "strategy": strategy,
+        "completed": completed,
+        "jobs": len(cluster_jobs),
+        "busy_analyzers": sum(1 for row in analysis_rows
+                              if row.cpu_units > 0),
+        "balance": report.balance_index(ResourceKind.CPU),
+        "makespan": max(r.generated_at for r in system.interface.reports),
+        "records": sum(r.records_analyzed for r in system.interface.reports),
+    }
+
+
+def test_classifier_strategies(once):
+    rows = once(lambda: [_run(strategy) for strategy in STRATEGIES])
+    emit("classifier_clustering", format_table(
+        ("strategy", "cluster jobs", "busy analyzers", "balance",
+         "makespan (s)"),
+        [
+            (row["strategy"], row["jobs"], row["busy_analyzers"],
+             "%.2f" % row["balance"], "%.1f" % row["makespan"])
+            for row in rows
+        ],
+        title="X6: clustering strategy vs. analysis distribution "
+              "(6 devices, 3 analyzers)",
+    ))
+    by_strategy = {row["strategy"]: row for row in rows}
+    assert all(row["completed"] for row in rows)
+    assert all(row["records"] == 18 for row in rows)
+    # job granularity: one per metric group / device / site
+    assert by_strategy["by-group"]["jobs"] == 3
+    assert by_strategy["by-device"]["jobs"] == 6
+    assert by_strategy["by-site"]["jobs"] == 1
+    # a single cluster cannot use more than one analyzer
+    assert by_strategy["by-site"]["busy_analyzers"] == 1
+    # finer clustering engages at least as many analyzers
+    assert by_strategy["by-device"]["busy_analyzers"] >= \
+        by_strategy["by-site"]["busy_analyzers"]

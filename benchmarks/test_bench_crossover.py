@@ -1,0 +1,52 @@
+"""X1 -- Crossover: where does the agent grid start paying off?
+
+Paper, section 4: "the utilization of agent grids appears to be most
+attractive when the volume of information to be analyzed on the network is
+relatively large.  In less busy environments, traditional approaches [...]
+still prove to be more cost-effective" -- and finding the exact point is
+listed as future work.  This bench sweeps the request volume and reports
+the makespan winner at each point.
+"""
+
+from repro.evaluation.experiments import crossover_experiment
+from repro.evaluation.tables import format_table
+from repro.workloads.scenarios import crossover_scenarios
+
+from conftest import emit
+
+POINTS = (1, 2, 5, 10, 20)
+
+
+def test_crossover(once):
+    scenarios = crossover_scenarios(points=POINTS)
+    rows = once(crossover_experiment, scenarios, seed=7)
+    table_rows = [
+        (
+            row["requests_per_type"],
+            "%.1f" % row["makespans"]["centralized"],
+            "%.1f" % row["makespans"]["multiagent"],
+            "%.1f" % row["makespans"]["grid"],
+            row["winner"],
+        )
+        for row in rows
+    ]
+    emit("crossover", format_table(
+        ("req/type", "centralized (s)", "multiagent (s)", "grid (s)",
+         "winner"),
+        table_rows,
+        title="X1: makespan vs workload volume (crossover sweep)",
+    ))
+    # At tiny volume the grid's coordination overhead must not win by much
+    # (or at all); at the paper's volume and beyond, the grid must win.
+    smallest, largest = rows[0], rows[-1]
+    assert largest["winner"] == "grid"
+    paper_point = next(r for r in rows if r["requests_per_type"] == 10)
+    assert paper_point["winner"] == "grid"
+    # grid advantage grows with volume
+    def grid_advantage(row):
+        return row["makespans"]["centralized"] - row["makespans"]["grid"]
+
+    assert grid_advantage(largest) > grid_advantage(smallest)
+    # bottleneck relief also grows with volume
+    assert largest["max_cpu_units"]["centralized"] > \
+        2 * largest["max_cpu_units"]["grid"]

@@ -1,0 +1,71 @@
+"""X4 -- Fault tolerance: kill an analysis container mid-run.
+
+Section 3.3 lists fault tolerance among the processor grid's problems; the
+root's job-timeout / re-dispatch machinery is the answer.  The bench kills
+the container holding in-flight jobs and asserts the workload still
+completes (on the survivor), quantifying the makespan penalty.
+"""
+
+from repro.core.system import GridManagementSystem
+from repro.evaluation.experiments import _grid_spec_for
+from repro.evaluation.tables import format_table
+from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+from repro.workloads.scenarios import paper_scenario
+
+from conftest import emit
+
+KILL_AT = 30.0
+THRESHOLD = 5
+
+
+def _run(kill_container):
+    scenario = paper_scenario()
+    spec = _grid_spec_for(
+        scenario, seed=3, dataset_threshold=THRESHOLD, analyzer_count=2,
+        job_timeout=15.0, policy="round-robin",
+    )
+    system = GridManagementSystem(spec)
+    system.assign_goals(system.make_paper_goals(polls_per_type=10))
+    if kill_container:
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=KILL_AT, kind="container_down",
+                       target="analysis-1"),
+        ]))
+    completed = system.run_until_records(30, timeout=6000)
+    return {
+        "completed": completed,
+        "makespan": max(r.generated_at for r in system.interface.reports),
+        "records": sum(r.records_analyzed for r in system.interface.reports),
+        "redispatched": system.root.jobs_redispatched,
+        "abandoned": system.root.jobs_abandoned,
+        "survivor_jobs": system.analyzers[1].jobs_completed,
+    }
+
+
+def test_fault_tolerance(once):
+    def run_both():
+        return _run(kill_container=False), _run(kill_container=True)
+
+    healthy, faulty = once(run_both)
+    emit("fault_tolerance", format_table(
+        ("run", "completed", "records", "makespan (s)", "re-dispatched",
+         "abandoned"),
+        [
+            ("healthy", healthy["completed"], healthy["records"],
+             "%.1f" % healthy["makespan"], healthy["redispatched"],
+             healthy["abandoned"]),
+            ("container killed @%ds" % KILL_AT, faulty["completed"],
+             faulty["records"], "%.1f" % faulty["makespan"],
+             faulty["redispatched"], faulty["abandoned"]),
+        ],
+        title="X4: analysis-container failure at t=%ds" % KILL_AT,
+    ))
+    assert healthy["completed"] and faulty["completed"]
+    assert healthy["redispatched"] == 0
+    # the fault was actually exercised and recovered from
+    assert faulty["redispatched"] > 0
+    assert faulty["abandoned"] == 0
+    assert faulty["records"] >= healthy["records"]
+    assert faulty["survivor_jobs"] > 0
+    # recovery costs time, but the run still finishes
+    assert faulty["makespan"] >= healthy["makespan"]

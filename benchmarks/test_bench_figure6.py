@@ -1,0 +1,126 @@
+"""F6 -- Figure 6: compared performances of the three architectures.
+
+The paper's scenario: 10 requests of each type over 3 devices.  For each
+architecture the bench regenerates the per-host CPU / Network / Disc bars
+(as table rows) and asserts the paper's qualitative claims:
+
+(a) centralized -- single manager is the CPU bottleneck, highest network
+    (raw data crosses the network);
+(b) multi-agent -- collectors parse locally, traffic drops, but the
+    manager still bottlenecks on analysis;
+(c) agent grid -- collection, storage and analysis distributed; the
+    per-host maximum is the lowest of the three and makespan is shortest.
+"""
+
+import pytest
+
+from repro.baselines.centralized import MANAGER_HOST, centralized_spec
+from repro.baselines.driver import run_architecture, run_figure6
+from repro.baselines.multiagent import multiagent_spec
+from repro.core.system import GridTopologySpec
+from repro.evaluation.accounting import compare_reports
+from repro.evaluation.tables import format_number, format_table
+from repro.simkernel.resources import ResourceKind
+
+from conftest import emit
+
+POLLS = 10
+SEED = 42
+
+
+def _run(spec, label):
+    return run_architecture(spec, label, polls_per_type=POLLS, timeout=4000)
+
+
+def test_figure6a_centralized(once):
+    result = once(
+        _run, centralized_spec(seed=SEED, dataset_threshold=3 * POLLS),
+        "centralized",
+    )
+    emit("figure6a_centralized", result.report.render())
+    assert result.completed
+    manager = result.report.host(MANAGER_HOST)
+    # all thirty raw polls cross the manager NIC: 30 x Request.net
+    assert manager.net_units == pytest.approx(150.0)
+    # manager does everything: poll+parse+classify+store+infer+cross+render
+    assert manager.cpu_units > 1500
+
+
+def test_figure6b_multiagent(once):
+    result = once(
+        _run, multiagent_spec(seed=SEED, dataset_threshold=3 * POLLS),
+        "multiagent",
+    )
+    emit("figure6b_multiagent", result.report.render())
+    assert result.completed
+    manager = result.report.host(MANAGER_HOST)
+    collectors = [row for row in result.report if row.role == "collector"]
+    assert len(collectors) == 2
+    # parsing moved to the collectors...
+    assert all(row.cpu_units > 0 for row in collectors)
+    # ...so the manager sees far less traffic than centralized's 150
+    assert manager.net_units < 75.0
+    # but analysis is still centralized: the manager remains the bottleneck
+    assert result.report.bottleneck().host_name == MANAGER_HOST
+
+
+def test_figure6c_grid(once):
+    spec = GridTopologySpec.paper_figure6c(
+        seed=SEED, dataset_threshold=3 * POLLS)
+    result = once(_run, spec, "grid")
+    emit("figure6c_grid", result.report.render())
+    assert result.completed
+    roles = {row.role for row in result.report}
+    assert {"collector", "storage", "analysis", "interface"} <= roles
+    # storage host owns the disk work
+    disk_host, _ = result.report.max_host(ResourceKind.DISK)
+    assert disk_host == "storage1"
+    # both inference hosts participate
+    analysis = [row for row in result.report if row.role == "analysis"]
+    assert all(row.cpu_units > 0 for row in analysis)
+
+
+def test_figure6_comparison(once):
+    results = once(run_figure6, polls_per_type=POLLS, seed=SEED,
+                   timeout=4000)
+    comparison = compare_reports(
+        [result.report for result in results.values()], ResourceKind.CPU)
+    rows = [
+        (
+            entry["label"],
+            entry["max_host"],
+            format_number(entry["max_host_units"]),
+            format_number(entry["total_units"]),
+            "%.2f" % entry["balance_index"],
+            "%.1f" % entry["makespan"],
+        )
+        for entry in comparison
+    ]
+    text = format_table(
+        ("architecture", "bottleneck host", "max CPU units",
+         "total CPU units", "balance", "makespan (s)"),
+        rows,
+        title="Figure 6: who wins (lower max CPU units = better)",
+    )
+    per_host = "\n\n".join(
+        results[label].report.render()
+        for label in ("centralized", "multiagent", "grid")
+    )
+    emit("figure6_comparison", text + "\n\n" + per_host)
+
+    # the paper's headline ordering
+    assert [entry["label"] for entry in comparison] == \
+        ["grid", "multiagent", "centralized"]
+    central = results["centralized"]
+    multi = results["multiagent"]
+    grid = results["grid"]
+    # grid relieves the bottleneck by >2x vs multiagent, >3x vs centralized
+    assert central.report.max_host(ResourceKind.CPU)[1] > \
+        3 * grid.report.max_host(ResourceKind.CPU)[1]
+    assert multi.report.max_host(ResourceKind.CPU)[1] > \
+        2 * grid.report.max_host(ResourceKind.CPU)[1]
+    # makespan ordering follows
+    assert grid.makespan < multi.makespan < central.makespan
+    # every architecture analyzed the full workload
+    assert all(result.records_analyzed == 3 * POLLS
+               for result in results.values())

@@ -1,0 +1,55 @@
+"""X2 -- Load-balancing policy ablation.
+
+Section 3.5 gives three placement principles (knowledge, capacity, idle)
+plus FIPA negotiation.  On a *heterogeneous* analyzer pool (CPU capacities
+20 / 10 / 5) with many small datasets, placement quality shows up directly
+in makespan.  Round-robin is the naive baseline.
+"""
+
+from repro.core.loadbalance import policy_names
+from repro.evaluation.experiments import loadbalance_ablation
+from repro.evaluation.tables import format_table
+from repro.workloads.scenarios import paper_scenario
+
+from conftest import emit
+
+
+def test_loadbalance_ablation(once):
+    scenario = paper_scenario()
+    rows = once(
+        loadbalance_ablation, scenario, policy_names(), seed=5,
+        analyzer_count=3, analyzer_capacities=(20.0, 10.0, 5.0),
+        dataset_threshold=3,
+    )
+    table_rows = [
+        (
+            row["policy"],
+            "%.1f" % row["makespan"],
+            "%.2f" % row["balance_index"],
+            " ".join(
+                "%s=%d" % (host, units)
+                for host, units in sorted(row["analyzer_cpu_units"].items())
+            ),
+        )
+        for row in rows
+    ]
+    emit("loadbalance_ablation", format_table(
+        ("policy", "makespan (s)", "balance", "analyzer CPU units"),
+        table_rows,
+        title="X2: placement policies on a 20/10/5-capacity analyzer pool",
+    ))
+    by_policy = {row["policy"]: row for row in rows}
+    assert all(row["completed"] for row in rows)
+    # capacity-aware placement must beat naive round-robin on a
+    # heterogeneous pool
+    assert by_policy["capacity"]["makespan"] < \
+        by_policy["round-robin"]["makespan"]
+    assert by_policy["knowledge"]["makespan"] < \
+        by_policy["round-robin"]["makespan"]
+    # capacity-aware policies route the most work to the fastest host
+    capacity_units = by_policy["capacity"]["analyzer_cpu_units"]
+    assert capacity_units["inference1"] == max(capacity_units.values())
+    # every policy analyzes the full workload (same correctness, different
+    # placement)
+    for row in rows:
+        assert sum(row["analyzer_cpu_units"].values()) > 0

@@ -1,0 +1,97 @@
+"""X7 -- Agent mobility (the paper's future-work item).
+
+"Agent mobility allows for a migration of analysis activities attributed
+to them, improving the utilization of resources."  The bench puts the only
+analyzer on a weak host, then (in the mobile run) migrates it to an idle
+fast host mid-run.  The in-flight job dies with the migration and is
+re-dispatched by the root's fault-tolerance machinery -- mobility and
+recovery compose -- and the migrated run finishes far sooner.
+"""
+
+from repro.agents.mobility import MobilityService
+from repro.baselines.centralized import default_devices
+from repro.core.system import GridManagementSystem, GridTopologySpec, HostSpec
+from repro.evaluation.tables import format_table
+
+from conftest import emit
+
+SLOW_CPU = 2.0
+FAST_CPU = 20.0
+MIGRATE_AT = 40.0
+
+
+def _build_system():
+    spec = GridTopologySpec(
+        devices=default_devices(3),
+        collector_hosts=[HostSpec("col1", "site1")],
+        analysis_hosts=[HostSpec("slow-host", "site1", cpu_capacity=SLOW_CPU)],
+        storage_host=HostSpec("stor", "site1"),
+        interface_host=HostSpec("iface", "site1"),
+        seed=17,
+        dataset_threshold=30,
+        job_timeout=10.0,
+    )
+    system = GridManagementSystem(spec)
+    fast_host = system.network.add_host(
+        "fast-host", "site1", role="analysis", cpu_capacity=FAST_CPU)
+    fast_container = system.platform.create_container(
+        "fast-container", fast_host, services=("analysis",))
+    return system, fast_container
+
+
+def _run(migrate):
+    system, fast_container = _build_system()
+    system.assign_goals(system.make_paper_goals(polls_per_type=10))
+    migrations = {"count": 0}
+    if migrate:
+        mobility = MobilityService(system.platform)
+        analyzer = system.analyzers[0]
+        old_container = system.analysis_containers[0]
+
+        def migration_script():
+            yield from mobility.migrate(analyzer, fast_container)
+            old_container.shutdown()
+            migrations["count"] = mobility.migrations
+
+        system.sim.schedule(
+            MIGRATE_AT,
+            lambda: system.sim.spawn(migration_script(), name="migration"),
+        )
+    completed = system.run_until_records(30, timeout=8000)
+    return {
+        "completed": completed,
+        "makespan": max(r.generated_at for r in system.interface.reports),
+        "records": sum(r.records_analyzed for r in system.interface.reports),
+        "migrations": migrations["count"],
+        "redispatched": system.root.jobs_redispatched,
+        "fast_host_cpu": system.network.host("fast-host").cpu.total_units
+        if migrate else 0.0,
+    }
+
+
+def test_mobility(once):
+    def run_both():
+        return _run(migrate=False), _run(migrate=True)
+
+    stationary, mobile = once(run_both)
+    emit("mobility", format_table(
+        ("run", "completed", "records", "makespan (s)", "migrations",
+         "re-dispatched"),
+        [
+            ("stationary (slow host)", stationary["completed"],
+             stationary["records"], "%.1f" % stationary["makespan"],
+             0, stationary["redispatched"]),
+            ("migrated @%ds -> fast host" % MIGRATE_AT,
+             mobile["completed"], mobile["records"],
+             "%.1f" % mobile["makespan"], mobile["migrations"],
+             mobile["redispatched"]),
+        ],
+        title="X7: migrating the analysis agent to an idle fast host",
+    ))
+    assert stationary["completed"] and mobile["completed"]
+    assert mobile["migrations"] == 1
+    assert mobile["records"] == 30
+    # the analysis work genuinely moved to the fast host
+    assert mobile["fast_host_cpu"] > 0
+    # and the run finished substantially sooner
+    assert mobile["makespan"] < 0.8 * stationary["makespan"]

@@ -1,0 +1,72 @@
+"""X3 -- Scalability: grow the managed network and the grid together.
+
+Paper, section 4: "If the system requires a greater processing capacity,
+we need only to add it to the grid" -- extensibility is the claimed
+advantage over scaling up a single manager.  This bench grows the device
+population and request volume, first with a *fixed* grid (max utilization
+climbs), then growing the grid alongside (max per-host units stay roughly
+flat relative to workload).
+"""
+
+from repro.evaluation.experiments import scalability_experiment
+from repro.evaluation.tables import format_table
+
+from conftest import emit
+
+FIXED_GRID_POINTS = [
+    {"device_count": 3, "requests_per_type": 5,
+     "collector_count": 2, "analyzer_count": 2},
+    {"device_count": 6, "requests_per_type": 10,
+     "collector_count": 2, "analyzer_count": 2},
+    {"device_count": 12, "requests_per_type": 20,
+     "collector_count": 2, "analyzer_count": 2},
+]
+
+GROWING_GRID_POINTS = [
+    {"device_count": 3, "requests_per_type": 5,
+     "collector_count": 1, "analyzer_count": 1},
+    {"device_count": 6, "requests_per_type": 10,
+     "collector_count": 2, "analyzer_count": 2},
+    {"device_count": 12, "requests_per_type": 20,
+     "collector_count": 4, "analyzer_count": 4},
+]
+
+
+def _render(rows, title):
+    return format_table(
+        ("devices", "req/type", "collectors", "analyzers",
+         "max CPU host", "max CPU units", "total CPU units",
+         "makespan (s)"),
+        [
+            (
+                row["device_count"], row["requests_per_type"],
+                row["collector_count"], row["analyzer_count"],
+                row["max_cpu_host"], "%.0f" % row["max_cpu_units"],
+                "%.0f" % row["total_cpu_units"], "%.1f" % row["makespan"],
+            )
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+def test_scalability(once):
+    def run_both():
+        fixed = scalability_experiment(FIXED_GRID_POINTS, seed=3)
+        growing = scalability_experiment(GROWING_GRID_POINTS, seed=3)
+        return fixed, growing
+
+    fixed, growing = once(run_both)
+    emit("scalability", "\n\n".join([
+        _render(fixed, "X3a: fixed 2+2 grid under growing workload"),
+        _render(growing, "X3b: grid grown with the workload"),
+    ]))
+    assert all(row["completed"] for row in fixed + growing)
+    # fixed grid: the bottleneck's absolute load grows ~linearly with work
+    assert fixed[-1]["max_cpu_units"] > 3 * fixed[0]["max_cpu_units"]
+    # growing grid: bottleneck load grows far slower than the 4x workload
+    ratio_growing = growing[-1]["max_cpu_units"] / growing[0]["max_cpu_units"]
+    ratio_fixed = fixed[-1]["max_cpu_units"] / fixed[0]["max_cpu_units"]
+    assert ratio_growing < ratio_fixed
+    # total work scales with the workload either way (no lost records)
+    assert growing[-1]["total_cpu_units"] > 3 * growing[0]["total_cpu_units"]

@@ -1,0 +1,76 @@
+"""Architecture comparison study: regenerate the paper's Figure 6 and a
+crossover sweep from the public API.
+
+Runs the same workload on the centralized, multi-agent and agent-grid
+architectures, prints per-host utilization tables (the Figure 6 bars),
+then sweeps the workload volume to show how the grid's advantage grows.
+
+Run:  python examples/grid_scaling_study.py
+"""
+
+from repro import run_figure6
+from repro.evaluation.accounting import compare_reports
+from repro.evaluation.experiments import crossover_experiment
+from repro.evaluation.tables import format_table
+from repro.simkernel.resources import ResourceKind
+from repro.workloads.scenarios import crossover_scenarios
+
+
+def figure6_study():
+    print("=" * 72)
+    print("Figure 6: 10 requests of each type, three architectures")
+    print("=" * 72)
+    results = run_figure6(polls_per_type=10, seed=1)
+    for label in ("centralized", "multiagent", "grid"):
+        print()
+        print(results[label].report.render())
+    comparison = compare_reports(
+        [result.report for result in results.values()], ResourceKind.CPU)
+    print()
+    print(format_table(
+        ("architecture", "bottleneck", "max CPU units", "makespan (s)"),
+        [
+            (entry["label"], entry["max_host"],
+             "%.0f" % entry["max_host_units"], "%.1f" % entry["makespan"])
+            for entry in comparison
+        ],
+        title="winner first:",
+    ))
+
+
+def crossover_study():
+    print()
+    print("=" * 72)
+    print("Crossover sweep: when does the grid pay off?")
+    print("=" * 72)
+    rows = crossover_experiment(
+        crossover_scenarios(points=(1, 5, 10, 20)), seed=1)
+    print(format_table(
+        ("req/type", "centralized (s)", "multiagent (s)", "grid (s)",
+         "grid saves vs centralized"),
+        [
+            (
+                row["requests_per_type"],
+                "%.1f" % row["makespans"]["centralized"],
+                "%.1f" % row["makespans"]["multiagent"],
+                "%.1f" % row["makespans"]["grid"],
+                "%.0f%%" % (100 * (1 - row["makespans"]["grid"]
+                                   / row["makespans"]["centralized"])),
+            )
+            for row in rows
+        ],
+    ))
+    print()
+    print("Note the paper's caveat: at low volume the saving shrinks toward")
+    print("zero while the grid occupies 7 hosts instead of 1 -- 'in less")
+    print("busy environments, traditional approaches still prove to be more")
+    print("cost-effective'.")
+
+
+def main():
+    figure6_study()
+    crossover_study()
+
+
+if __name__ == "__main__":
+    main()

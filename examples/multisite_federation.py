@@ -1,0 +1,84 @@
+"""Multi-site federation: Site I / Site II, integrated versus siloed.
+
+Reproduces the paper's Figure 2 vs Figure 5 argument as a runnable story:
+the same two-site network, the same overload hitting one device per site,
+managed first by the integrated agent grid (one root brokering both sites,
+one interface, shared knowledge) and then by per-site silos.  Only the
+integrated deployment correlates the two local symptoms into a
+network-wide incident.
+
+Run:  python examples/multisite_federation.py
+"""
+
+from repro.core.federation import (
+    INTEGRATED,
+    SILOED,
+    FederatedManagementSystem,
+    FederatedTopologySpec,
+    SiteSpec,
+)
+from repro.evaluation.tables import format_table
+
+POLLS_PER_TYPE = 5
+
+
+def build(mode):
+    spec = FederatedTopologySpec(
+        sites=[
+            SiteSpec.simple("sao-paulo", device_count=3, collector_count=1,
+                            analyzer_count=1),
+            SiteSpec.simple("florianopolis", device_count=3,
+                            collector_count=1, analyzer_count=1),
+        ],
+        mode=mode,
+        seed=13,
+        dataset_threshold=9,
+    )
+    return FederatedManagementSystem(spec)
+
+
+def run(mode):
+    system = build(mode)
+    system.devices["sao-paulo-dev1"].inject_fault("cpu_runaway")
+    system.devices["florianopolis-dev1"].inject_fault("cpu_runaway")
+    system.assign_site_goals(system.make_site_goals(
+        polls_per_type=POLLS_PER_TYPE))
+    total = 2 * POLLS_PER_TYPE * 3
+    completed = system.run_until_records(total, timeout=4000)
+    system.stop_devices()
+    return system, completed
+
+
+def main():
+    results = {}
+    for mode in (INTEGRATED, SILOED):
+        system, completed = run(mode)
+        kinds = sorted({finding.kind for finding in system.all_findings()})
+        results[mode] = (system, completed, kinds)
+        print("== %s ==" % mode)
+        print(system.utilization_report().render())
+        print("findings:", ", ".join(kinds) or "none")
+        print()
+
+    rows = []
+    for mode, (system, completed, kinds) in results.items():
+        rows.append((
+            mode,
+            system.records_analyzed(),
+            "yes" if "multi-site-overload" in kinds else "NO",
+            len(system.interfaces()),
+        ))
+    print(format_table(
+        ("deployment", "records analyzed", "cross-site incident seen",
+         "interfaces"),
+        rows,
+        title="Figure 2 (integrated) vs Figure 5 (siloed):",
+    ))
+    print()
+    print("The siloed deployment analyzed the same telemetry but, exactly as")
+    print("the paper argues, 'no high level analysis can be carried out' --")
+    print("the network-wide overload is invisible to per-site managers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""FIPA ACL messages, performatives and matching templates.
+
+Only the subset of FIPA ACL the paper exercises is modelled: the standard
+performative vocabulary, conversation threading (``conversation_id`` /
+``reply_with`` / ``in_reply_to``), ontology and protocol slots, and a size
+model so messages cost network units in proportion to their content.
+"""
+
+import itertools
+
+
+class Performative:
+    """The FIPA ACL communicative acts used in the reproduction."""
+
+    INFORM = "inform"
+    REQUEST = "request"
+    QUERY_REF = "query-ref"
+    CFP = "cfp"
+    PROPOSE = "propose"
+    ACCEPT_PROPOSAL = "accept-proposal"
+    REJECT_PROPOSAL = "reject-proposal"
+    AGREE = "agree"
+    REFUSE = "refuse"
+    FAILURE = "failure"
+    CONFIRM = "confirm"
+    SUBSCRIBE = "subscribe"
+    NOT_UNDERSTOOD = "not-understood"
+
+    ALL = (
+        INFORM, REQUEST, QUERY_REF, CFP, PROPOSE, ACCEPT_PROPOSAL,
+        REJECT_PROPOSAL, AGREE, REFUSE, FAILURE, CONFIRM, SUBSCRIBE,
+        NOT_UNDERSTOOD,
+    )
+
+
+class AgentId:
+    """A platform-unique agent name (FIPA AID, simplified)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not name:
+            raise ValueError("agent name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, attr, value):
+        raise AttributeError("AgentId is immutable")
+
+    def __eq__(self, other):
+        if isinstance(other, AgentId):
+            return other.name == self.name
+        if isinstance(other, str):
+            return other == self.name
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return "AgentId(%r)" % self.name
+
+
+#: Default wire size of an ACL control message, in network units.
+DEFAULT_ACL_SIZE = 0.3
+
+
+class ACLMessage:
+    """A FIPA ACL message.
+
+    Args:
+        performative: one of :class:`Performative`.
+        sender / receiver: :class:`AgentId` (or bare names, coerced).
+        content: arbitrary payload object.
+        ontology: content ontology name (see :mod:`repro.agents.ontology`).
+        protocol: interaction protocol ("fipa-contract-net", ...).
+        conversation_id: thread identifier; generated when omitted for
+            conversation-opening messages.
+        reply_with / in_reply_to: FIPA reply correlation slots.
+        size_units: explicit wire size; defaults to the content's
+            ``size_units`` attribute or :data:`DEFAULT_ACL_SIZE`.
+    """
+
+    _conversation_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        performative,
+        sender,
+        receiver,
+        content=None,
+        ontology="",
+        protocol="",
+        conversation_id=None,
+        reply_with=None,
+        in_reply_to=None,
+        size_units=None,
+    ):
+        if performative not in Performative.ALL:
+            raise ValueError("unknown performative %r" % performative)
+        self.performative = performative
+        self.sender = sender if isinstance(sender, AgentId) else AgentId(sender)
+        self.receiver = receiver if isinstance(receiver, AgentId) else AgentId(receiver)
+        self.content = content
+        self.ontology = ontology
+        self.protocol = protocol
+        if conversation_id is None:
+            conversation_id = "conv-%d" % next(ACLMessage._conversation_counter)
+        self.conversation_id = conversation_id
+        self.reply_with = reply_with
+        self.in_reply_to = in_reply_to
+        if size_units is None:
+            size_units = getattr(content, "size_units", None)
+            if size_units is None:
+                size_units = DEFAULT_ACL_SIZE
+        self.size_units = float(size_units)
+        self.sent_at = None
+
+    def make_reply(self, performative, content=None, size_units=None):
+        """A reply in the same conversation, addressed back to the sender."""
+        return ACLMessage(
+            performative,
+            sender=self.receiver,
+            receiver=self.sender,
+            content=content,
+            ontology=self.ontology,
+            protocol=self.protocol,
+            conversation_id=self.conversation_id,
+            in_reply_to=self.reply_with,
+            size_units=size_units,
+        )
+
+    def __repr__(self):
+        return "ACLMessage(%s %s->%s, conv=%s)" % (
+            self.performative, self.sender, self.receiver, self.conversation_id,
+        )
+
+
+class MessageTemplate:
+    """A conjunctive filter over ACL message slots.
+
+    Any slot left ``None`` matches everything; strings are compared against
+    the message slot, and ``sender`` accepts an :class:`AgentId` or name.
+    """
+
+    def __init__(
+        self,
+        performative=None,
+        sender=None,
+        ontology=None,
+        protocol=None,
+        conversation_id=None,
+        in_reply_to=None,
+    ):
+        self.performative = performative
+        self.sender = AgentId(sender) if isinstance(sender, str) else sender
+        self.ontology = ontology
+        self.protocol = protocol
+        self.conversation_id = conversation_id
+        self.in_reply_to = in_reply_to
+
+    def match(self, message):
+        if self.performative is not None and message.performative != self.performative:
+            return False
+        if self.sender is not None and message.sender != self.sender:
+            return False
+        if self.ontology is not None and message.ontology != self.ontology:
+            return False
+        if self.protocol is not None and message.protocol != self.protocol:
+            return False
+        if (
+            self.conversation_id is not None
+            and message.conversation_id != self.conversation_id
+        ):
+            return False
+        if self.in_reply_to is not None and message.in_reply_to != self.in_reply_to:
+            return False
+        return True
+
+    def __repr__(self):
+        slots = []
+        for name in (
+            "performative", "sender", "ontology", "protocol",
+            "conversation_id", "in_reply_to",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                slots.append("%s=%r" % (name, str(value)))
+        return "MessageTemplate(%s)" % ", ".join(slots)
+
+
+#: Template matching every message.
+MATCH_ALL = MessageTemplate()

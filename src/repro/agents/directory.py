@@ -1,0 +1,114 @@
+"""Directory facilitator: service and container-profile registry.
+
+This is the paper's directory service "D1" (Figure 4): when a container
+joins the processing grid it registers the profile of the resource it runs
+on and the services it can provide; the grid root later queries the
+directory to select containers for job submission.
+
+Two registries live here:
+
+* **services** -- FIPA-DF-style ``ServiceDescription`` entries for agents;
+* **container profiles** -- :class:`~repro.agents.container.ResourceProfile`
+  snapshots, searchable by service and knowledge area.
+"""
+
+
+class ServiceDescription:
+    """An agent's advertised service."""
+
+    def __init__(self, agent_name, service_type, properties=None):
+        if not service_type:
+            raise ValueError("service_type must be non-empty")
+        self.agent_name = agent_name
+        self.service_type = service_type
+        self.properties = dict(properties or {})
+
+    def __repr__(self):
+        return "ServiceDescription(%s: %s)" % (self.agent_name, self.service_type)
+
+
+class DirectoryFacilitator:
+    """Register/search services and container profiles."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._services = {}  # agent_name -> list of ServiceDescription
+        self._profiles = {}  # container_name -> (profile, registered_at)
+        self.registrations = 0
+        self.searches = 0
+
+    # -- agent services (FIPA DF) ------------------------------------------
+
+    def register(self, description):
+        """Add a service description for an agent."""
+        self._services.setdefault(description.agent_name, []).append(description)
+        self.registrations += 1
+        return description
+
+    def deregister(self, agent_name, service_type=None):
+        """Remove an agent's services (all, or one type)."""
+        if service_type is None:
+            self._services.pop(agent_name, None)
+            return
+        remaining = [
+            description
+            for description in self._services.get(agent_name, [])
+            if description.service_type != service_type
+        ]
+        if remaining:
+            self._services[agent_name] = remaining
+        else:
+            self._services.pop(agent_name, None)
+
+    def search(self, service_type, predicate=None):
+        """All service descriptions of a type, optionally filtered."""
+        self.searches += 1
+        found = []
+        for descriptions in self._services.values():
+            for description in descriptions:
+                if description.service_type != service_type:
+                    continue
+                if predicate is not None and not predicate(description):
+                    continue
+                found.append(description)
+        found.sort(key=lambda description: description.agent_name)
+        return found
+
+    def services_of(self, agent_name):
+        return list(self._services.get(agent_name, ()))
+
+    # -- container profiles (the paper's D1) ----------------------------------
+
+    def register_container_profile(self, profile):
+        """Store/update a container's resource profile (Figure 4)."""
+        self._profiles[profile.container_name] = (profile, self.sim.now)
+        self.registrations += 1
+
+    def remove_container_profile(self, container_name):
+        self._profiles.pop(container_name, None)
+
+    def container_profile(self, container_name):
+        entry = self._profiles.get(container_name)
+        return entry[0] if entry else None
+
+    def container_profiles(self, service=None, knowledge=None):
+        """Profiles filtered by offered service and/or knowledge area."""
+        self.searches += 1
+        results = []
+        for profile, _ in self._profiles.values():
+            if service is not None and not profile.offers(service):
+                continue
+            if knowledge is not None and not profile.knows(knowledge):
+                continue
+            results.append(profile)
+        results.sort(key=lambda profile: profile.container_name)
+        return results
+
+    def __len__(self):
+        return len(self._profiles)
+
+    def __repr__(self):
+        return "DirectoryFacilitator(profiles=%d, services=%d)" % (
+            len(self._profiles),
+            sum(len(lst) for lst in self._services.values()),
+        )

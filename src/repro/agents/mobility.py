@@ -1,0 +1,93 @@
+"""Agent mobility: migrating an agent between containers.
+
+The paper lists mobile agents as future work: "Agent mobility allows for a
+migration of analysis activities [...], improving the utilization of
+resources."  We implement strong-ish migration: the agent is stopped at
+the source, its checkpointed state travels as a network payload (charging
+both NICs and paying serialization CPU), and it restarts at the
+destination, where ``setup()`` re-installs behaviours and ``restore()``
+reinstates the checkpoint (including the pending mailbox).
+"""
+
+from repro.network.transport import Message
+
+
+class MigrationError(RuntimeError):
+    """Migration failed (dead container, undeployed agent...)."""
+
+
+class MobilityService:
+    """Coordinates agent migrations on a platform.
+
+    Args:
+        platform: the :class:`~repro.agents.platform.AgentPlatform`.
+        serialize_cpu_per_unit: CPU units charged at the source per state
+            size unit (serialization), and at the destination
+            (deserialization).
+    """
+
+    def __init__(self, platform, serialize_cpu_per_unit=0.5):
+        self.platform = platform
+        self.sim = platform.sim
+        self.serialize_cpu_per_unit = serialize_cpu_per_unit
+        self.migrations = 0
+
+    def migrate(self, agent, destination_container):
+        """Move ``agent`` to ``destination_container`` (process generator).
+
+        Usage::
+
+            yield from mobility.migrate(agent, other_container)
+
+        Returns the agent once it is running at the destination.
+        """
+        source_container = agent.container
+        if source_container is None:
+            raise MigrationError("agent %s is not deployed" % agent.name)
+        if not destination_container.alive:
+            raise MigrationError(
+                "destination container %s is down" % destination_container.name
+            )
+        if destination_container is source_container:
+            return agent
+
+        source_host = source_container.host
+        dest_host = destination_container.host
+        state = agent.checkpoint()
+        size = agent.state_size_units
+
+        # Stop and detach at the source (behaviours die with the old life).
+        agent.stop()
+        source_container.remove(agent, stop=False)
+
+        # Serialization cost at the source.  Runs at control-plane
+        # priority: a migration triggered *because* the host is backlogged
+        # must not wait behind that backlog.
+        yield source_host.cpu.use(
+            self.serialize_cpu_per_unit * size, label="agent-migration",
+            priority=-10,
+        )
+
+        # State transfer (skipped when both containers share a host).
+        if source_host is not dest_host:
+            wire = Message(
+                sender=self.platform.transport.address(source_host.name, "acl"),
+                dest=self.platform.transport.address(dest_host.name, "acl"),
+                payload=("agent-state", agent.name, state),
+                size_units=size,
+                protocol="agent-migration",
+            )
+            yield from self.platform.transport.send_and_wait(wire)
+
+        # Deserialization + restart at the destination.
+        yield dest_host.cpu.use(
+            self.serialize_cpu_per_unit * size, label="agent-migration",
+            priority=-10,
+        )
+        destination_container.deploy(agent)
+        agent.restore(state)
+        self.migrations += 1
+        return agent
+
+    def __repr__(self):
+        return "MobilityService(migrations=%d)" % self.migrations

@@ -1,0 +1,23 @@
+"""Baseline architectures the paper compares against (Figure 5 / 6a / 6b).
+
+* :mod:`centralized <repro.baselines.centralized>` -- Figure 6(a): one
+  manager station polls, parses, stores and infers everything.
+* :mod:`multiagent <repro.baselines.multiagent>` -- Figure 5 / 6(b): two
+  collector hosts parse locally; storage and analysis stay centralized on
+  the manager.
+* :mod:`driver <repro.baselines.driver>` -- a shared run harness that
+  executes the paper's workload on any of the three architectures and
+  returns a :class:`~repro.evaluation.accounting.UtilizationReport`.
+"""
+
+from repro.baselines.centralized import centralized_spec
+from repro.baselines.multiagent import multiagent_spec
+from repro.baselines.driver import RunResult, run_architecture, run_figure6
+
+__all__ = [
+    "RunResult",
+    "centralized_spec",
+    "multiagent_spec",
+    "run_architecture",
+    "run_figure6",
+]

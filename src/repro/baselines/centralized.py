@@ -1,0 +1,51 @@
+"""The centralized-management baseline (Figure 6a).
+
+"The model implementing centralized management will present higher network
+utilization as the data transmitted between the resource and manager
+station is in raw format, being parsed by the manager itself.  Moreover,
+as there is only one host involved in all activities, its processor
+becomes the bottleneck."
+
+Expressed as a degenerate grid deployment: every management role
+(collection, classification, storage, analysis, interface) co-located on a
+single "manager" host, and collectors configured *not* to parse locally so
+the raw poll responses cross the network to the manager.
+"""
+
+from repro.core.system import DeviceSpec, GridTopologySpec, HostSpec
+
+#: Name of the single management station.
+MANAGER_HOST = "manager"
+
+
+def default_devices(count=3, site="site1"):
+    """The paper's evaluation devices: a small mixed population."""
+    profiles = ("server", "router", "server", "switch")
+    return [
+        DeviceSpec("dev%d" % (index + 1), profiles[index % len(profiles)], site)
+        for index in range(count)
+    ]
+
+
+def centralized_spec(devices=None, seed=0, cost_model=None, **overrides):
+    """A :class:`GridTopologySpec` realizing the centralized model.
+
+    All roles land on :data:`MANAGER_HOST`; the collector ships raw data
+    (``collector_parse_locally=False``) so parsing happens at the manager,
+    exactly as the paper describes.
+    """
+    if devices is None:
+        devices = default_devices()
+    manager = HostSpec(MANAGER_HOST, "site1")
+    parameters = dict(
+        devices=devices,
+        collector_hosts=[HostSpec(MANAGER_HOST, "site1")],
+        analysis_hosts=[HostSpec(MANAGER_HOST, "site1")],
+        storage_host=manager,
+        interface_host=HostSpec(MANAGER_HOST, "site1"),
+        collector_parse_locally=False,
+        seed=seed,
+        cost_model=cost_model,
+    )
+    parameters.update(overrides)
+    return GridTopologySpec(**parameters)

@@ -1,0 +1,39 @@
+"""The multi-agent baseline (Figure 5 / Figure 6b).
+
+"Here, there are more than one data collector hosts, which also carry out
+parsing tasks where unnecessary information is removed before the data is
+transmitted to the manager host. [...] These features lead to reduction in
+communication traffic but keep a centralized data analysis structure,
+which, again, is the system bottleneck."
+
+Expressed as a grid deployment with dedicated collector hosts that parse
+locally, while classification, storage, analysis and interface all
+co-locate on the single manager host.  There is no workload distribution
+for analysis -- one analysis container on one host.
+"""
+
+from repro.baselines.centralized import MANAGER_HOST, default_devices
+from repro.core.system import GridTopologySpec, HostSpec
+
+
+def multiagent_spec(devices=None, collector_count=2, seed=0, cost_model=None,
+                    **overrides):
+    """A :class:`GridTopologySpec` realizing the multi-agent model."""
+    if devices is None:
+        devices = default_devices()
+    manager = HostSpec(MANAGER_HOST, "site1")
+    parameters = dict(
+        devices=devices,
+        collector_hosts=[
+            HostSpec("collector%d" % (index + 1), "site1")
+            for index in range(collector_count)
+        ],
+        analysis_hosts=[HostSpec(MANAGER_HOST, "site1")],
+        storage_host=manager,
+        interface_host=HostSpec(MANAGER_HOST, "site1"),
+        collector_parse_locally=True,
+        seed=seed,
+        cost_model=cost_model,
+    )
+    parameters.update(overrides)
+    return GridTopologySpec(**parameters)

@@ -1,0 +1,216 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as the ``repro-sim`` console script::
+
+    repro-sim figure6 --polls 10 --seed 42
+    repro-sim table1
+    repro-sim crossover --points 1 5 10 20
+    repro-sim federation --mode integrated
+    repro-sim quickstart --json out.json
+
+Every subcommand prints the paper-style tables; ``--json PATH`` also dumps
+machine-readable results.
+"""
+
+import argparse
+import sys
+
+from repro.evaluation import export
+from repro.evaluation.tables import format_number, format_table
+
+
+def _add_common(parser):
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master random seed (default 42)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write results as JSON to PATH")
+
+
+def _cmd_table1(args):
+    from repro.core.costs import CostModel
+
+    model = CostModel()
+    rows = [
+        (name, format_number(cost.cpu), format_number(cost.net),
+         format_number(cost.disk), "est" if cost.estimated else "paper")
+        for name, cost in model.table_rows()
+    ]
+    print(format_table(("Tasks", "CPU", "Network", "Disc", "source"), rows,
+                       title="Table 1: relative times of management tasks"))
+    if args.json:
+        export.dump_json(
+            [
+                {"task": name, "cpu": cost.cpu, "net": cost.net,
+                 "disk": cost.disk, "estimated": cost.estimated}
+                for name, cost in model.table_rows()
+            ],
+            args.json,
+        )
+    return 0
+
+
+def _cmd_figure6(args):
+    from repro.baselines.driver import run_figure6
+    from repro.evaluation.accounting import compare_reports
+    from repro.simkernel.resources import ResourceKind
+
+    results = run_figure6(polls_per_type=args.polls, seed=args.seed)
+    for label in ("centralized", "multiagent", "grid"):
+        print(results[label].report.render())
+        print()
+    comparison = compare_reports(
+        [result.report for result in results.values()], ResourceKind.CPU)
+    print(format_table(
+        ("architecture", "bottleneck", "max CPU units", "makespan (s)"),
+        [(entry["label"], entry["max_host"],
+          format_number(entry["max_host_units"]),
+          "%.1f" % entry["makespan"]) for entry in comparison],
+        title="winner first:",
+    ))
+    if args.json:
+        export.dump_json(
+            {label: export.run_result_to_dict(result)
+             for label, result in results.items()},
+            args.json,
+        )
+    return 0
+
+
+def _cmd_quickstart(args):
+    from repro.baselines.driver import run_architecture
+    from repro.core.system import GridTopologySpec
+
+    spec = GridTopologySpec.paper_figure6c(
+        seed=args.seed, dataset_threshold=args.polls * 3)
+    result = run_architecture(spec, "grid", polls_per_type=args.polls)
+    print(result.report.render())
+    print()
+    print("records analyzed: %d   findings: %d" % (
+        result.records_analyzed, len(result.findings)))
+    for finding in result.findings:
+        print("  %-18s %-8s %s" % (
+            finding.kind, finding.severity, finding.device))
+    if args.json:
+        export.dump_json(export.run_result_to_dict(result), args.json)
+    return 0
+
+
+def _cmd_crossover(args):
+    from repro.evaluation.experiments import crossover_experiment
+    from repro.workloads.scenarios import crossover_scenarios
+
+    rows = crossover_experiment(
+        crossover_scenarios(points=tuple(args.points)), seed=args.seed)
+    print(format_table(
+        ("req/type", "centralized (s)", "multiagent (s)", "grid (s)",
+         "winner"),
+        [
+            (row["requests_per_type"],
+             "%.1f" % row["makespans"]["centralized"],
+             "%.1f" % row["makespans"]["multiagent"],
+             "%.1f" % row["makespans"]["grid"],
+             row["winner"])
+            for row in rows
+        ],
+        title="crossover sweep:",
+    ))
+    if args.json:
+        export.dump_json(rows, args.json)
+    return 0
+
+
+def _cmd_federation(args):
+    from repro.core.federation import (
+        FederatedManagementSystem, FederatedTopologySpec, SiteSpec)
+
+    spec = FederatedTopologySpec(
+        sites=[
+            SiteSpec.simple("site%d" % (index + 1), device_count=args.devices)
+            for index in range(args.sites)
+        ],
+        mode=args.mode,
+        seed=args.seed,
+        dataset_threshold=args.devices * 3,
+    )
+    system = FederatedManagementSystem(spec)
+    first_devices = sorted(system.devices)[: args.sites]
+    for device_name in first_devices:
+        system.devices[device_name].inject_fault("cpu_runaway")
+    system.assign_site_goals(system.make_site_goals(polls_per_type=args.polls))
+    total = args.sites * args.polls * 3
+    completed = system.run_until_records(total, timeout=8000)
+    system.stop_devices()
+    print(system.utilization_report().render())
+    kinds = sorted({finding.kind for finding in system.all_findings()})
+    print()
+    print("completed: %s   records: %d   findings: %s" % (
+        completed, system.records_analyzed(), ", ".join(kinds) or "none"))
+    if args.json:
+        export.dump_json(
+            {
+                "mode": args.mode,
+                "completed": completed,
+                "records": system.records_analyzed(),
+                "finding_kinds": kinds,
+                "utilization": export.utilization_report_to_dict(
+                    system.utilization_report()),
+            },
+            args.json,
+        )
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Agent-grid network management (MIDDLEWARE 2003) "
+                    "reproduction experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="print Table 1")
+    _add_common(table1)
+    table1.set_defaults(handler=_cmd_table1)
+
+    figure6 = subparsers.add_parser(
+        "figure6", help="run the three-architecture comparison")
+    _add_common(figure6)
+    figure6.add_argument("--polls", type=int, default=10,
+                         help="requests of each type (default 10)")
+    figure6.set_defaults(handler=_cmd_figure6)
+
+    quickstart = subparsers.add_parser(
+        "quickstart", help="run the Figure 6(c) grid once")
+    _add_common(quickstart)
+    quickstart.add_argument("--polls", type=int, default=10)
+    quickstart.set_defaults(handler=_cmd_quickstart)
+
+    crossover = subparsers.add_parser(
+        "crossover", help="sweep workload volume across architectures")
+    _add_common(crossover)
+    crossover.add_argument("--points", type=int, nargs="+",
+                           default=[1, 5, 10, 20])
+    crossover.set_defaults(handler=_cmd_crossover)
+
+    federation = subparsers.add_parser(
+        "federation", help="run a multi-site deployment")
+    _add_common(federation)
+    federation.add_argument("--mode", choices=("integrated", "siloed"),
+                            default="integrated")
+    federation.add_argument("--sites", type=int, default=2)
+    federation.add_argument("--devices", type=int, default=2,
+                            help="devices per site")
+    federation.add_argument("--polls", type=int, default=4)
+    federation.set_defaults(handler=_cmd_federation)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

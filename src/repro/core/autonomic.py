@@ -1,0 +1,118 @@
+"""Autonomic load balancing through agent mobility.
+
+The paper's future work: "Investigating further the utilization of mobile
+agents in data analysis and in load balancing.  Agent mobility allows for
+a migration of analysis activities attributed to them, improving the
+utilization of resources."
+
+:class:`MobilityBalancer` closes that loop automatically: it periodically
+compares analyzer hosts' CPU pressure (queue backlog normalized by
+capacity) and, when the imbalance crosses a threshold, migrates an
+analyzer agent from the hottest container to the coolest one.  Migration
+uses the platform :class:`~repro.agents.mobility.MobilityService`, so it
+pays serialization CPU and transfer bytes, and any in-flight job on the
+moving agent is recovered by the grid root's re-dispatch machinery.
+"""
+
+from repro.agents.mobility import MobilityService
+
+
+class BalanceDecision:
+    """Record of one balancing action (or the reason for inaction)."""
+
+    def __init__(self, at, action, detail):
+        self.at = at
+        self.action = action  # "migrate" | "hold"
+        self.detail = detail
+
+    def __repr__(self):
+        return "BalanceDecision(t=%g, %s: %s)" % (self.at, self.action, self.detail)
+
+
+class MobilityBalancer:
+    """Watches analyzer containers and migrates agents off hot hosts.
+
+    Args:
+        platform: the agent platform.
+        containers: analyzer containers under management (agents may move
+            between them; new agents deployed later are picked up).
+        period: seconds between balance evaluations.
+        imbalance_threshold: migrate when the hottest host's pressure
+            exceeds the coolest's by at least this many *seconds of queued
+            work per unit capacity*.
+        max_migrations: stop after this many moves (None = unlimited).
+    """
+
+    def __init__(self, platform, containers, period=10.0,
+                 imbalance_threshold=5.0, max_migrations=None):
+        if len(containers) < 2:
+            raise ValueError("balancing needs at least two containers")
+        self.platform = platform
+        self.sim = platform.sim
+        self.containers = list(containers)
+        self.period = period
+        self.imbalance_threshold = imbalance_threshold
+        self.max_migrations = max_migrations
+        self.mobility = MobilityService(platform)
+        self.decisions = []
+        self.migrations = 0
+        self._process = self.sim.spawn(self._run(), name="mobility-balancer")
+
+    def stop(self):
+        self._process.kill()
+
+    # -- pressure model ----------------------------------------------------
+
+    @staticmethod
+    def pressure(container):
+        """Seconds of queued CPU work per unit capacity on the host.
+
+        Uses queue length x a nominal 20-unit job estimate (the directory
+        profile does not expose exact queued units), plus a busy-agent
+        term so an agent mid-job counts even with an empty queue.
+        """
+        host = container.host
+        backlog_units = host.cpu.queue_length * 20.0 + container.busy_agents * 20.0
+        return backlog_units / host.cpu.capacity
+
+    # -- control loop ----------------------------------------------------------
+
+    def _run(self):
+        while True:
+            yield self.period
+            if (self.max_migrations is not None
+                    and self.migrations >= self.max_migrations):
+                return
+            yield from self._evaluate()
+
+    def _evaluate(self):
+        live = [container for container in self.containers if container.alive]
+        if len(live) < 2:
+            return
+        ranked = sorted(live, key=lambda c: (self.pressure(c), c.name))
+        coolest, hottest = ranked[0], ranked[-1]
+        gap = self.pressure(hottest) - self.pressure(coolest)
+        if gap < self.imbalance_threshold:
+            self.decisions.append(BalanceDecision(
+                self.sim.now, "hold", "gap=%.1fs" % gap))
+            return
+        movable = [
+            agent for agent in hottest.agents.values()
+            if hasattr(agent, "knowledge_base")  # only analysis agents move
+        ]
+        if not movable or len(hottest.agents) <= 0:
+            self.decisions.append(BalanceDecision(
+                self.sim.now, "hold", "no movable agent on %s" % hottest.name))
+            return
+        agent = sorted(movable, key=lambda a: a.name)[0]
+        self.decisions.append(BalanceDecision(
+            self.sim.now, "migrate",
+            "%s: %s -> %s (gap=%.1fs)" % (
+                agent.name, hottest.name, coolest.name, gap),
+        ))
+        yield from self.mobility.migrate(agent, coolest)
+        self.migrations += 1
+
+    def __repr__(self):
+        return "MobilityBalancer(migrations=%d, decisions=%d)" % (
+            self.migrations, len(self.decisions))

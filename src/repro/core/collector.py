@@ -1,0 +1,208 @@
+"""The Collector Grid (CG).
+
+Collector agents own :class:`~repro.core.records.CollectionGoal` goals --
+"extracting managed object values from one or more pieces of equipment in
+the network between time intervals" -- and realize them through an SNMP
+interface.  Each poll:
+
+1. charges the Table 1 *Request* CPU cost on the collector's host;
+2. performs the SNMP GET (network units at both ends of the poll);
+3. normalizes the varbinds into the common representation;
+4. optionally runs the *Parse* task locally ("The collector grid can
+   contain agents that execute some local information analyses" -- and in
+   the multi-agent/grid models of Figure 6, parsing at the collector is
+   what shrinks the shipped data);
+5. ships records to the classifier grid in protocol envelopes.
+"""
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.agent import Agent
+from repro.agents.behaviours import OneShotBehaviour
+from repro.core.costs import DEFAULT_COST_MODEL, TaskKind
+from repro.core.records import ManagementRecord
+from repro.network.protocols import HTTP
+from repro.snmp.manager import SnmpClient, SnmpTimeout
+
+
+class CollectorAgent(Agent):
+    """A collector with goals, an SNMP interface and a shipping channel.
+
+    Args:
+        name: agent name.
+        goals: list of :class:`~repro.core.records.CollectionGoal`.
+        classifier_name: agent name of the classifier to ship to.
+        cost_model: the Table 1 :class:`~repro.core.costs.CostModel`.
+        parse_locally: run the Parse task at the collector (True in the
+            multi-agent and grid models; False in the centralized model,
+            which ships raw data).
+        device_specs: optional map device name -> (interface_count,
+            process_slots) used to build poll OID lists; defaults applied
+            otherwise.
+        batch_size: records per shipped envelope.
+        protocol: shipping :class:`~repro.network.protocols.ProtocolSpec`.
+        poll_retries: extra SNMP attempts after a timeout before the poll
+            is counted as failed (lossy links are retried, not fatal).
+    """
+
+    def __init__(
+        self,
+        name,
+        goals,
+        classifier_name,
+        cost_model=None,
+        parse_locally=True,
+        device_specs=None,
+        batch_size=1,
+        protocol=HTTP,
+        poll_retries=2,
+    ):
+        super().__init__(name)
+        self.goals = list(goals)
+        self.classifier_name = classifier_name
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.parse_locally = parse_locally
+        self.device_specs = dict(device_specs or {})
+        self.batch_size = max(1, batch_size)
+        self.protocol = protocol
+        self.poll_retries = max(0, poll_retries)
+        self.snmp = None
+        self.poll_retries_used = 0
+        self.polls_completed = 0
+        self.polls_failed = 0
+        self.records_shipped = 0
+        self._buffer = []
+        self._active_goals = 0
+        self.idle_event = None
+
+    def setup(self):
+        self.snmp = SnmpClient(
+            self.host, self.platform.transport, client_id=self.name,
+        )
+        self.idle_event = self.sim.event(self.name + ".idle")
+        self._active_goals = len(self.goals)
+        if self._active_goals == 0:
+            self.idle_event.trigger(self)
+            return
+        for index, goal in enumerate(self.goals):
+            self.add_behaviour(_GoalBehaviour(goal, name="goal-%d" % index))
+
+    # -- goal execution (called from behaviours) ----------------------------
+
+    def add_goal(self, goal):
+        """Install a new goal at runtime (interface-grid feedback)."""
+        self._active_goals += 1
+        if self.idle_event is not None and self.idle_event.triggered:
+            self.idle_event = self.sim.event(self.name + ".idle")
+        self.add_behaviour(_GoalBehaviour(goal, name="goal-late-%d" % self._active_goals))
+
+    def poll_once(self, goal):
+        """One poll of one goal (process generator): request -> record."""
+        request_cost = self.cost_model.request_cost(goal.request_type)
+        if request_cost.cpu:
+            yield self.cpu.use(request_cost.cpu, label=TaskKind.REQUEST)
+        interface_count, process_slots = self.device_specs.get(
+            goal.device_name, (2, 3),
+        )
+        oids = goal.oids(interface_count=interface_count,
+                         process_slots=process_slots)
+        response = None
+        for attempt in range(1 + self.poll_retries):
+            try:
+                response = yield from self.snmp.get(
+                    goal.device_name,
+                    oids,
+                    request_size_units=self.cost_model.poll_request_size,
+                    response_size_units=self.cost_model.poll_response_size,
+                )
+                break
+            except SnmpTimeout:
+                if attempt < self.poll_retries:
+                    self.poll_retries_used += 1
+                    continue
+        if response is None:
+            self.polls_failed += 1
+            return None
+        record = ManagementRecord.from_varbinds(
+            device=goal.device_name,
+            site=self._device_site(goal.device_name),
+            request_type=goal.request_type,
+            group=goal.group,
+            varbinds=response.varbinds,
+            collected_at=self.sim.now,
+            size_units=self.cost_model.raw_record_size,
+        )
+        if self.parse_locally:
+            parse_cost = self.cost_model.parse_cost(goal.request_type)
+            if parse_cost.cpu:
+                yield self.cpu.use(parse_cost.cpu, label=TaskKind.PARSE)
+            record = record.parse(self.cost_model.parsed_record_size)
+        self.polls_completed += 1
+        return record
+
+    def _device_site(self, device_name):
+        try:
+            return self.platform.network.host(device_name).site.name
+        except KeyError:
+            return ""
+
+    def ship(self, records):
+        """Send records to the classifier in one protocol envelope."""
+        records = [record for record in records if record is not None]
+        if not records:
+            return
+        payload_units = sum(record.size_units for record in records)
+        wire_units = self.protocol.size(payload_units)
+        self.send(ACLMessage(
+            Performative.INFORM,
+            sender=self.name,
+            receiver=self.classifier_name,
+            content={"op": "classify-batch", "records": records},
+            ontology="collected-batch",
+            size_units=wire_units,
+        ))
+        self.records_shipped += len(records)
+
+    def _buffer_and_ship(self, record, force=False):
+        if record is not None:
+            self._buffer.append(record)
+        if self._buffer and (force or len(self._buffer) >= self.batch_size):
+            batch, self._buffer = self._buffer, []
+            self.ship(batch)
+
+    def _goal_finished(self):
+        self._active_goals -= 1
+        if self._active_goals == 0:
+            self._buffer_and_ship(None, force=True)
+            if not self.idle_event.triggered:
+                self.idle_event.trigger(self)
+
+    def __repr__(self):
+        return "CollectorAgent(%r, polls=%d, shipped=%d)" % (
+            self.name, self.polls_completed, self.records_shipped,
+        )
+
+
+class _GoalBehaviour(OneShotBehaviour):
+    """Executes one goal: count polls spaced by the goal's interval."""
+
+    def __init__(self, goal, name):
+        super().__init__(name)
+        self.goal = goal
+
+    def action(self):
+        agent = self.agent
+        goal = self.goal
+        if goal.start_after > 0:
+            yield goal.start_after
+        polls_remaining = goal.count
+        try:
+            while polls_remaining is None or polls_remaining > 0:
+                record = yield from agent.poll_once(goal)
+                agent._buffer_and_ship(record)
+                if polls_remaining is not None:
+                    polls_remaining -= 1
+                    if polls_remaining == 0:
+                        break
+                yield goal.interval
+        finally:
+            agent._goal_finished()

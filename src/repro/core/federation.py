@@ -1,0 +1,377 @@
+"""Multi-site federation: the paper's Site I / Site II deployment.
+
+Figure 2 of the paper spans two sites, each with its own collector and
+classifier grids, feeding a shared processing grid whose knowledge base is
+fed back from both; Figure 5's baseline is the same hardware *without*
+integration ("there's no relation among different sites [...] no high
+level analysis can be carried out [...] The only possible evolution of
+this system would be the integration of knowledge bases").
+
+Two federation modes realize the comparison:
+
+* ``"integrated"`` -- one grid root brokering analyzers across all sites,
+  one interface grid, and a cross-analysis window so problems from
+  different sites' datasets correlate (the agent-grid architecture);
+* ``"siloed"`` -- an independent root + interface per site; analyzers only
+  register locally; no cross-site data ever meets (the Figure 5 baseline).
+
+Both modes share the simulator, WAN topology, devices and workload, so any
+difference in findings or utilization is due to integration alone.
+"""
+
+from repro.agents.platform import AgentPlatform
+from repro.core.classifier import ClassifierAgent
+from repro.core.collector import CollectorAgent
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.interface import InterfaceAgent
+from repro.core.loadbalance import make_policy
+from repro.core.processor import AnalyzerAgent, ProcessorRootAgent
+from repro.core.storage import ManagementDataStore, StorageAgent
+from repro.core.system import DeviceSpec, HostSpec
+from repro.network.topology import Network
+from repro.network.transport import Transport
+from repro.rules.stdlib import standard_knowledge_base
+from repro.simkernel.simulator import Simulator
+from repro.snmp.device import ManagedDevice
+from repro.snmp.engine import SnmpEngine
+
+INTEGRATED = "integrated"
+SILOED = "siloed"
+
+
+class SiteSpec:
+    """One site's slice of the federation."""
+
+    def __init__(self, name, devices, collector_count=1, analyzer_count=1):
+        if not devices:
+            raise ValueError("site %r needs at least one device" % name)
+        self.name = name
+        self.devices = list(devices)
+        self.collector_count = collector_count
+        self.analyzer_count = analyzer_count
+
+    @classmethod
+    def simple(cls, name, device_count=2, collector_count=1,
+               analyzer_count=1):
+        profiles = ("server", "router")
+        devices = [
+            DeviceSpec("%s-dev%d" % (name, index + 1),
+                       profiles[index % len(profiles)], name)
+            for index in range(device_count)
+        ]
+        return cls(name, devices, collector_count, analyzer_count)
+
+    def __repr__(self):
+        return "SiteSpec(%r, devices=%d)" % (self.name, len(self.devices))
+
+
+class FederatedTopologySpec:
+    """A multi-site deployment description.
+
+    Args:
+        sites: list of :class:`SiteSpec`.
+        mode: :data:`INTEGRATED` or :data:`SILOED`.
+        policy: placement-policy name (integrated root only).
+        dataset_threshold: per-classifier dataset size.
+        cross_window: how long cross jobs remember other datasets' problems
+            (integrated mode; enables multi-site correlation).
+        seed / cost_model / wan / job_timeout: as in GridTopologySpec.
+    """
+
+    def __init__(
+        self,
+        sites,
+        mode=INTEGRATED,
+        policy="knowledge",
+        dataset_threshold=6,
+        cross_window=120.0,
+        seed=0,
+        cost_model=None,
+        wan=None,
+        job_timeout=60.0,
+        knowledge_base_factory=None,
+    ):
+        if len(sites) < 1:
+            raise ValueError("at least one site is required")
+        if mode not in (INTEGRATED, SILOED):
+            raise ValueError("unknown federation mode %r" % mode)
+        self.sites = list(sites)
+        self.mode = mode
+        self.policy = policy
+        self.dataset_threshold = dataset_threshold
+        self.cross_window = cross_window
+        self.seed = seed
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.wan = wan
+        self.job_timeout = job_timeout
+        self.knowledge_base_factory = (
+            knowledge_base_factory if knowledge_base_factory is not None
+            else standard_knowledge_base
+        )
+
+    def total_devices(self):
+        return sum(len(site.devices) for site in self.sites)
+
+    def __repr__(self):
+        return "FederatedTopologySpec(%s, sites=%d)" % (self.mode, len(self.sites))
+
+
+class _SiteRuntime:
+    """Everything built for one site."""
+
+    def __init__(self, name):
+        self.name = name
+        self.devices = {}
+        self.collectors = []
+        self.analyzers = []
+        self.store = None
+        self.storage_agent = None
+        self.classifier = None
+        self.root = None          # siloed mode only
+        self.interface = None     # siloed mode only
+
+
+class FederatedManagementSystem:
+    """A built multi-site deployment (integrated or siloed)."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.cost_model = spec.cost_model
+        self.sim = Simulator(seed=spec.seed)
+        self.network = Network(self.sim, wan=spec.wan)
+        self.transport = Transport(self.network)
+        self.platform = AgentPlatform(self.sim, self.network, self.transport)
+        self.sites = {}
+        self.devices = {}
+        self.global_root = None
+        self.global_interface = None
+        if spec.mode == INTEGRATED:
+            self._build_integrated()
+        else:
+            self._build_siloed()
+
+    # -- construction -----------------------------------------------------
+
+    def _build_devices(self, site_spec, runtime):
+        for device_spec in site_spec.devices:
+            host = self.network.add_host(
+                device_spec.name, site_spec.name, role="device")
+            device = ManagedDevice(self.sim, host, profile=device_spec.profile)
+            SnmpEngine(device, self.transport)
+            runtime.devices[device_spec.name] = device
+            self.devices[device_spec.name] = device
+
+    def _build_site_storage(self, site_spec, runtime, root_name):
+        host = self.network.add_host(
+            "%s-storage" % site_spec.name, site_spec.name, role="storage")
+        container = self.platform.create_container(
+            "%s-storage-container" % site_spec.name, host,
+            services=("storage", "classification"))
+        runtime.store = ManagementDataStore(host, self.cost_model)
+        runtime.storage_agent = StorageAgent(
+            "storage@" + host.name, runtime.store)
+        container.deploy(runtime.storage_agent)
+        runtime.classifier = ClassifierAgent(
+            "classifier@" + site_spec.name,
+            store=runtime.store,
+            processor_name=root_name,
+            cost_model=self.cost_model,
+            dataset_threshold=self.spec.dataset_threshold,
+        )
+        container.deploy(runtime.classifier)
+        return container
+
+    def _build_site_collectors(self, site_spec, runtime):
+        device_specs = {
+            name: (device.profile.interface_count,
+                   device.profile.process_slots)
+            for name, device in runtime.devices.items()
+        }
+        for index in range(site_spec.collector_count):
+            host = self.network.add_host(
+                "%s-collector%d" % (site_spec.name, index + 1),
+                site_spec.name, role="collector")
+            container = self.platform.create_container(
+                "%s-collector-%d" % (site_spec.name, index + 1), host,
+                services=("collection",))
+            collector = CollectorAgent(
+                "collector%d@%s" % (index + 1, site_spec.name),
+                goals=[],
+                classifier_name=runtime.classifier.name,
+                cost_model=self.cost_model,
+                device_specs=device_specs,
+            )
+            container.deploy(collector)
+            runtime.collectors.append(collector)
+
+    def _build_site_analyzers(self, site_spec, runtime, root_name):
+        for index in range(site_spec.analyzer_count):
+            host = self.network.add_host(
+                "%s-analysis%d" % (site_spec.name, index + 1),
+                site_spec.name, role="analysis")
+            container = self.platform.create_container(
+                "%s-analysis-%d" % (site_spec.name, index + 1), host,
+                services=("analysis",))
+            analyzer = AnalyzerAgent(
+                "analyzer%d@%s" % (index + 1, site_spec.name),
+                root_name=root_name,
+                knowledge_base=self.spec.knowledge_base_factory(),
+                cost_model=self.cost_model,
+            )
+            container.deploy(analyzer)
+            runtime.analyzers.append(analyzer)
+
+    def _build_integrated(self):
+        first_site = self.spec.sites[0]
+        interface_host = self.network.add_host(
+            "noc-interface", first_site.name, role="interface")
+        interface_container = self.platform.create_container(
+            "noc-interface-container", interface_host, services=("interface",))
+        self.global_interface = InterfaceAgent("interface@noc")
+        interface_container.deploy(self.global_interface)
+
+        root_name = "pg-root@noc"
+        for site_spec in self.spec.sites:
+            runtime = _SiteRuntime(site_spec.name)
+            self.sites[site_spec.name] = runtime
+            self._build_devices(site_spec, runtime)
+            storage_container = self._build_site_storage(
+                site_spec, runtime, root_name)
+            if site_spec is first_site:
+                # the single root is co-located with the first site's storage
+                self.global_root = ProcessorRootAgent(
+                    root_name,
+                    storage_agent_name=runtime.storage_agent.name,
+                    interface_name=self.global_interface.name,
+                    policy=make_policy(self.spec.policy),
+                    cost_model=self.cost_model,
+                    job_timeout=self.spec.job_timeout,
+                    cross_window=self.spec.cross_window,
+                )
+                storage_container.deploy(self.global_root)
+            self._build_site_collectors(site_spec, runtime)
+            self._build_site_analyzers(site_spec, runtime, root_name)
+
+    def _build_siloed(self):
+        for site_spec in self.spec.sites:
+            runtime = _SiteRuntime(site_spec.name)
+            self.sites[site_spec.name] = runtime
+            self._build_devices(site_spec, runtime)
+            root_name = "pg-root@" + site_spec.name
+            storage_container = self._build_site_storage(
+                site_spec, runtime, root_name)
+            interface_host = self.network.add_host(
+                "%s-interface" % site_spec.name, site_spec.name,
+                role="interface")
+            interface_container = self.platform.create_container(
+                "%s-interface-container" % site_spec.name, interface_host,
+                services=("interface",))
+            runtime.interface = InterfaceAgent("interface@" + site_spec.name)
+            interface_container.deploy(runtime.interface)
+            runtime.root = ProcessorRootAgent(
+                root_name,
+                storage_agent_name=runtime.storage_agent.name,
+                interface_name=runtime.interface.name,
+                policy=make_policy(self.spec.policy),
+                cost_model=self.cost_model,
+                job_timeout=self.spec.job_timeout,
+            )
+            storage_container.deploy(runtime.root)
+            self._build_site_collectors(site_spec, runtime)
+            self._build_site_analyzers(site_spec, runtime, root_name)
+
+    # -- workload -----------------------------------------------------------
+
+    def assign_site_goals(self, goals_by_site):
+        """Distribute per-site goal lists over each site's collectors."""
+        for site_name, goals in goals_by_site.items():
+            runtime = self.sites[site_name]
+            for index, goal in enumerate(goals):
+                runtime.collectors[
+                    index % len(runtime.collectors)].add_goal(goal)
+
+    def make_site_goals(self, polls_per_type=4, interval=1.0, stagger=0.1):
+        """Paper-style goals for every site (each polls its own devices)."""
+        from repro.core.records import CollectionGoal
+
+        goals_by_site = {}
+        for site_name, runtime in self.sites.items():
+            device_names = sorted(runtime.devices)
+            goals = []
+            for type_index, request_type in enumerate(("A", "B", "C")):
+                for poll_index in range(polls_per_type):
+                    goals.append(CollectionGoal(
+                        device_names[poll_index % len(device_names)],
+                        request_type,
+                        count=1,
+                        interval=interval,
+                        start_after=stagger * (poll_index * 3 + type_index),
+                    ))
+            goals_by_site[site_name] = goals
+        return goals_by_site
+
+    # -- running / reporting --------------------------------------------------
+
+    def interfaces(self):
+        if self.spec.mode == INTEGRATED:
+            return [self.global_interface]
+        return [runtime.interface for runtime in self.sites.values()]
+
+    def all_findings(self):
+        findings = []
+        for interface in self.interfaces():
+            findings.extend(interface.all_findings())
+        return findings
+
+    def records_analyzed(self):
+        return sum(
+            report.records_analyzed
+            for interface in self.interfaces()
+            for report in interface.reports
+        )
+
+    def run_until_records(self, total, timeout=2000.0, settle=1.0):
+        deadline = self.sim.now + timeout
+        while self.records_analyzed() < total and self.sim.now < deadline:
+            self.sim.run(until=min(deadline, self.sim.now + 5.0))
+        if self.records_analyzed() >= total and settle > 0:
+            self.sim.run(until=self.sim.now + settle)
+        return self.records_analyzed() >= total
+
+    def stop_devices(self):
+        for device in self.devices.values():
+            device.stop()
+
+    def management_hosts(self):
+        return [
+            host for host in self.network.hosts.values()
+            if host.role != "device"
+        ]
+
+    def utilization_report(self, label=None):
+        from repro.evaluation.accounting import UtilizationReport
+
+        return UtilizationReport.from_hosts(
+            label if label is not None else self.spec.mode,
+            self.management_hosts(), horizon=self.sim.now,
+        )
+
+    def share_knowledge(self, rule):
+        """Teach a rule to analyzers (the paper's "shared knowledge").
+
+        In integrated mode the rule reaches every site's analyzers through
+        the single interface grid; in siloed mode it can only reach the
+        analyzers of the site whose interface learned it (the first site),
+        mirroring the baseline's isolation.
+        """
+        if self.spec.mode == INTEGRATED:
+            names = [a.name for r in self.sites.values() for a in r.analyzers]
+            return self.global_interface.submit_rule(rule, names)
+        first = next(iter(sorted(self.sites)))
+        runtime = self.sites[first]
+        return runtime.interface.submit_rule(
+            rule, [analyzer.name for analyzer in runtime.analyzers])
+
+    def __repr__(self):
+        return "FederatedManagementSystem(%s, sites=%d)" % (
+            self.spec.mode, len(self.sites))

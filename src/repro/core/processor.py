@@ -1,0 +1,700 @@
+"""The Processor Grid (PG): root broker, analyzer containers, multi-level
+analysis.
+
+Section 3.3: the grid root "co-ordinates this distribution, functioning as
+a broker in the system" -- it receives data-ready notifications from the
+classifier grid, divides analysis activities per cluster (Figure 3),
+selects containers through directory profiles or negotiation (Figure 4 /
+section 3.5), tracks outstanding jobs with timeouts (fault tolerance), runs
+the level-3 cross-inference once level-1/2 jobs complete, and ships the
+consolidated report to the interface grid.
+
+Analyzer agents do the actual work: fetch their cluster from storage,
+charge the Table 1 inference cost, run the rule engine over the facts, and
+return findings.
+"""
+
+import itertools
+
+from repro.agents.acl import ACLMessage, MessageTemplate, Performative
+from repro.agents.agent import Agent
+from repro.agents.behaviours import CyclicBehaviour, TickerBehaviour
+from repro.agents.directory import DirectoryFacilitator
+from repro.agents.ontology import (
+    ANALYSIS_JOB,
+    ANALYSIS_RESULT,
+    CONTAINER_PROFILE,
+    DATA_READY,
+)
+from repro.core.costs import DEFAULT_COST_MODEL, GROUP_REQUEST_TYPES, TaskKind
+from repro.core.loadbalance import KnowledgeFirstPolicy, PlacementJob
+from repro.core.negotiation import (
+    CONTRACT_NET,
+    ContractNetInitiator,
+    ContractNetResponder,
+)
+from repro.core.reports import Finding, ManagementReport
+from repro.rules.facts import Fact, WorkingMemory
+
+#: Cluster name used for level-3 cross-inference jobs.
+CROSS_CLUSTER = "correlation"
+
+
+class _JobState:
+    """Root-side bookkeeping for one dispatched job."""
+
+    def __init__(self, job_id, dataset_id, cluster, record_count, level,
+                 container, agent_name, deadline, attempt=1):
+        self.job_id = job_id
+        self.dataset_id = dataset_id
+        self.cluster = cluster
+        self.record_count = record_count
+        self.level = level
+        self.container = container
+        self.agent_name = agent_name
+        self.deadline = deadline
+        self.attempt = attempt
+        self.done = False
+        self.excluded_containers = set()
+
+
+class _DatasetState:
+    """Root-side bookkeeping for one dataset under analysis."""
+
+    def __init__(self, dataset_id, record_count, storage_host, clusters):
+        self.dataset_id = dataset_id
+        self.record_count = record_count
+        self.storage_host = storage_host
+        self.pending_clusters = set(clusters)
+        self.findings = []
+        self.records_analyzed = 0
+        self.cross_dispatched = False
+        self.finished = False
+
+
+class ProcessorRootAgent(Agent):
+    """The analysis-grid root / broker.
+
+    Args:
+        name: agent name.
+        storage_agent_name: where analyzers fetch data from.
+        interface_name: the interface-grid agent receiving reports.
+        policy: a :class:`~repro.core.loadbalance.PlacementPolicy`
+            (default knowledge-first, the paper's primary principle).
+        cost_model: Table 1 cost model.
+        directory: optional shared
+            :class:`~repro.agents.directory.DirectoryFacilitator`; the root
+            creates a private one ("D1") when omitted.
+        job_timeout: grace period added to a job's *estimated service time*
+            before it is considered lost and re-dispatched to a different
+            container (fault tolerance).  The grace doubles per attempt so
+            a slow-but-alive analyzer is not stampeded with duplicates.
+        max_attempts: after this many dispatch attempts a cluster is
+            abandoned (the dataset report proceeds without its findings).
+        enable_cross: run the level-3 cross analysis per dataset.
+        negotiation_deadline: proposal window for the negotiated policy.
+        cross_window: when > 0, cross jobs also carry problems found in
+            *other* datasets within this many seconds -- the federation
+            layer uses this so network-wide incidents spanning sites (and
+            hence datasets from different classifiers) can be correlated.
+    """
+
+    _job_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name,
+        storage_agent_name,
+        interface_name,
+        policy=None,
+        cost_model=None,
+        directory=None,
+        job_timeout=60.0,
+        enable_cross=True,
+        negotiation_deadline=2.0,
+        max_attempts=6,
+        cross_window=0.0,
+    ):
+        super().__init__(name)
+        self.storage_agent_name = storage_agent_name
+        self.interface_name = interface_name
+        self.policy = policy if policy is not None else KnowledgeFirstPolicy()
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.directory = directory
+        self.job_timeout = job_timeout
+        self.enable_cross = enable_cross
+        self.negotiation_deadline = negotiation_deadline
+        self.max_attempts = max_attempts
+        self.jobs_abandoned = 0
+        #: Seconds to wait for a placeable container before abandoning a
+        #: job outright (e.g. every analyzer in the grid is gone).
+        self.placement_patience = 120.0
+        self.cross_window = cross_window
+        self._recent_problems = []  # [(time, problem_dict)] across datasets
+        self._analyzer_agent_by_container = {}
+        self._outstanding_by_container = {}
+        self.jobs = {}
+        self.datasets = {}
+        self.jobs_dispatched = 0
+        self.jobs_redispatched = 0
+        self.reports_issued = 0
+        self.negotiator = None
+
+    def setup(self):
+        if self.directory is None:
+            self.directory = DirectoryFacilitator(self.sim)
+        self.negotiator = ContractNetInitiator(self, self.negotiation_deadline)
+        root = self
+
+        class Registrations(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.INFORM,
+                    ontology=CONTAINER_PROFILE.name,
+                ))
+                if message is not None:
+                    root._register_analyzer(message)
+
+        class DataReady(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.INFORM,
+                    ontology=DATA_READY.name,
+                ))
+                if message is not None:
+                    yield from root._start_dataset(message)
+
+        class Results(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.INFORM,
+                    ontology=ANALYSIS_RESULT.name,
+                ))
+                if message is not None:
+                    yield from root._job_completed(message)
+
+        class Reaper(TickerBehaviour):
+            def on_tick(self):
+                yield from root._reap_expired_jobs()
+
+        self.add_behaviour(Registrations("registrations"))
+        self.add_behaviour(DataReady("data-ready"))
+        self.add_behaviour(Results("results"))
+        self.add_behaviour(Reaper(
+            period=max(1.0, self.job_timeout / 4.0), name="reaper",
+        ))
+
+    # -- registration (Figure 4) ------------------------------------------
+
+    def _register_analyzer(self, message):
+        content = CONTAINER_PROFILE.validate(message.content)
+        container = self.platform.containers.get(content["container"])
+        if container is None:
+            return
+        self.directory.register_container_profile(container.profile())
+        self._analyzer_agent_by_container[content["container"]] = str(message.sender)
+
+    def analyzer_containers(self):
+        return sorted(self._analyzer_agent_by_container)
+
+    # -- dataset handling -----------------------------------------------------
+
+    def _start_dataset(self, message):
+        content = DATA_READY.validate(message.content)
+        dataset_id = content["dataset"]
+        clusters = list(content["clusters"])
+        sizes = content.get("cluster_sizes") or {}
+        state = _DatasetState(
+            dataset_id, content["record_count"], content["storage_host"], clusters,
+        )
+        self.datasets[dataset_id] = state
+        for cluster in clusters:
+            record_count = int(sizes.get(cluster, 0)) or max(
+                1, content["record_count"] // max(1, len(clusters)),
+            )
+            yield from self._dispatch_job(
+                dataset_id, cluster, record_count, level=2, exclude=(),
+            )
+
+    def _fresh_profiles(self, exclude=()):
+        """Live profiles of registered analyzer containers.
+
+        Static facts come from the directory; dynamic load is refreshed
+        from the containers themselves (the paper's "request the current
+        profile of the resources"), and dead containers are dropped.
+        """
+        profiles = []
+        for container_name in sorted(self._analyzer_agent_by_container):
+            if container_name in exclude:
+                continue
+            container = self.platform.containers.get(container_name)
+            if container is None or not container.alive:
+                continue
+            profile = container.profile()
+            # Jobs this root has dispatched but not yet seen answered are
+            # invisible to the container's own queue (they may still be in
+            # flight); fold them into the load indicators so back-to-back
+            # dispatches spread instead of dog-piling one container.
+            outstanding = self._outstanding_by_container.get(container_name, 0)
+            profile.cpu_queue_length += outstanding
+            profile.busy_agents += outstanding
+            self.directory.register_container_profile(profile)
+            profiles.append(profile)
+        return profiles
+
+    def _dispatch_job(self, dataset_id, cluster, record_count, level,
+                      exclude=(), attempt=1):
+        """Place and send one analysis job (process generator)."""
+        state = self.datasets[dataset_id]
+        if level >= 3:
+            infer_cpu = self.cost_model.cross_cost().cpu
+            cpu_units = infer_cpu
+        else:
+            group = cluster if cluster in GROUP_REQUEST_TYPES else "performance"
+            infer_cpu = self.cost_model.infer_cost(
+                GROUP_REQUEST_TYPES[group]).cpu
+            cpu_units = infer_cpu * max(1, record_count)
+        job_id = "job-%d" % next(ProcessorRootAgent._job_ids)
+        placement = PlacementJob(
+            job_id, cluster, record_count, cpu_units,
+            required_service="analysis",
+        )
+        container_name = None
+        wait_deadline = self.sim.now + self.placement_patience
+        while container_name is None:
+            if self.sim.now >= wait_deadline:
+                yield from self._abandon_placement(dataset_id, cluster, level)
+                return None
+            profiles = self._fresh_profiles(exclude=exclude)
+            if not profiles and exclude:
+                # Every non-excluded container is gone; retry everywhere.
+                profiles = self._fresh_profiles(exclude=())
+            if not profiles:
+                yield 1.0  # no analyzers yet; wait for registrations
+                continue
+            if self.policy.needs_negotiation:
+                pool = self.policy.choose(placement, profiles)
+                if not pool:
+                    yield 1.0
+                    continue
+                candidate_agents = [
+                    self._analyzer_agent_by_container[profile.container_name]
+                    for profile in pool
+                ]
+                outcome = yield from self.negotiator.negotiate(
+                    placement, candidate_agents,
+                )
+                container_name = outcome.winner
+                if container_name is None:
+                    yield 1.0
+                    continue
+            else:
+                chosen = self.policy.choose(placement, profiles)
+                if chosen is None:
+                    yield 1.0
+                    continue
+                container_name = chosen.container_name
+        agent_name = self._analyzer_agent_by_container[container_name]
+        job_content = ANALYSIS_JOB.make(
+            job_id=job_id,
+            dataset=dataset_id,
+            cluster=cluster,
+            record_count=record_count,
+            level=level,
+            storage_host=state.storage_host,
+            problems=self._cross_problems(state) if level >= 3 else [],
+        )
+        # Deadline = estimated service time on the chosen container plus a
+        # grace that doubles per attempt; a busy queue is not a dead host.
+        chosen_container = self.platform.containers.get(container_name)
+        capacity = (
+            chosen_container.host.cpu.capacity if chosen_container is not None
+            else 10.0
+        )
+        backlog = (
+            self._outstanding_by_container.get(container_name, 0) * cpu_units
+        )
+        service_estimate = (cpu_units + backlog) / capacity
+        grace = self.job_timeout * (2 ** (attempt - 1))
+        job_state = _JobState(
+            job_id, dataset_id, cluster, record_count, level,
+            container_name, agent_name,
+            deadline=self.sim.now + service_estimate + grace, attempt=attempt,
+        )
+        job_state.excluded_containers = set(exclude)
+        self.jobs[job_id] = job_state
+        self._outstanding_by_container[container_name] = (
+            self._outstanding_by_container.get(container_name, 0) + 1
+        )
+        self.send(ACLMessage(
+            Performative.REQUEST,
+            sender=self.name,
+            receiver=agent_name,
+            content=dict(job_content),
+            ontology=ANALYSIS_JOB.name,
+            size_units=self.cost_model.notify_size,
+        ))
+        self.jobs_dispatched += 1
+        if attempt > 1:
+            self.jobs_redispatched += 1
+        return job_state
+
+    # -- results --------------------------------------------------------------
+
+    def _job_completed(self, message):
+        content = ANALYSIS_RESULT.validate(message.content)
+        job = self.jobs.get(content["job_id"])
+        if job is None or job.done:
+            return  # late duplicate from a re-dispatched job
+        job.done = True
+        self._settle_outstanding(job.container)
+        state = self.datasets.get(job.dataset_id)
+        if state is None or state.finished:
+            return
+        state.findings.extend(content["findings"])
+        state.records_analyzed += content["records_analyzed"]
+        if job.level >= 3:
+            yield from self._finalize_dataset(state)
+            return
+        yield from self._cluster_done(state, job.cluster)
+
+    def _cluster_done(self, state, cluster):
+        """Advance a dataset once one of its clusters is resolved."""
+        state.pending_clusters.discard(cluster)
+        if state.pending_clusters or state.cross_dispatched:
+            return
+        if self.enable_cross:
+            state.cross_dispatched = True
+            yield from self._dispatch_job(
+                state.dataset_id, CROSS_CLUSTER, record_count=1, level=3,
+            )
+        else:
+            yield from self._finalize_dataset(state)
+
+    def _finalize_dataset(self, state):
+        state.finished = True
+        report = ManagementReport(
+            dataset_id=state.dataset_id,
+            findings=state.findings,
+            records_analyzed=state.records_analyzed,
+            generated_at=self.sim.now,
+        )
+        self.send(ACLMessage(
+            Performative.INFORM,
+            sender=self.name,
+            receiver=self.interface_name,
+            content={"report": report},
+            ontology="management-report",
+            size_units=self.cost_model.report_size,
+        ))
+        self.reports_issued += 1
+        return
+        yield  # pragma: no cover - keeps this a generator for symmetry
+
+    def _cross_problems(self, state):
+        """Problems a cross job should correlate over.
+
+        Always the dataset's own findings; with ``cross_window`` set, also
+        problems from other recent datasets (deduplicated), so incidents
+        spanning classifiers -- e.g. two sites -- become visible.
+        """
+        problems = [
+            _finding_to_problem_dict(finding) for finding in state.findings
+        ]
+        if self.cross_window > 0:
+            horizon = self.sim.now - self.cross_window
+            self._recent_problems = [
+                entry for entry in self._recent_problems if entry[0] >= horizon
+            ]
+            seen = {tuple(sorted(problem.items())) for problem in problems}
+            for _, problem in self._recent_problems:
+                key = tuple(sorted(problem.items()))
+                if key not in seen:
+                    seen.add(key)
+                    problems.append(problem)
+            for problem in problems:
+                self._recent_problems.append((self.sim.now, problem))
+        return problems
+
+    def _abandon_placement(self, dataset_id, cluster, level):
+        """Give up on placing a job (no analyzers for too long)."""
+        self.jobs_abandoned += 1
+        state = self.datasets.get(dataset_id)
+        if state is None or state.finished:
+            return
+        if level >= 3:
+            yield from self._finalize_dataset(state)
+        else:
+            yield from self._cluster_done(state, cluster)
+
+    def _settle_outstanding(self, container_name):
+        count = self._outstanding_by_container.get(container_name, 0)
+        if count > 0:
+            self._outstanding_by_container[container_name] = count - 1
+
+    # -- fault tolerance ----------------------------------------------------------
+
+    def _reap_expired_jobs(self):
+        now = self.sim.now
+        expired = [
+            job for job in self.jobs.values()
+            if not job.done and now >= job.deadline
+        ]
+        for job in expired:
+            job.done = True  # retire this attempt
+            self._settle_outstanding(job.container)
+            state = self.datasets.get(job.dataset_id)
+            if state is None or state.finished:
+                continue
+            if job.attempt >= self.max_attempts:
+                self.jobs_abandoned += 1
+                if job.level >= 3:
+                    yield from self._finalize_dataset(state)
+                else:
+                    yield from self._cluster_done(state, job.cluster)
+                continue
+            exclude = set(job.excluded_containers)
+            exclude.add(job.container)
+            yield from self._dispatch_job(
+                job.dataset_id, job.cluster, job.record_count, job.level,
+                exclude=exclude, attempt=job.attempt + 1,
+            )
+
+    def __repr__(self):
+        return "ProcessorRootAgent(%r, dispatched=%d, reports=%d)" % (
+            self.name, self.jobs_dispatched, self.reports_issued,
+        )
+
+
+def _finding_to_problem_dict(finding):
+    """Serialize a finding so a cross job can rebuild problem facts."""
+    return {
+        "kind": finding.kind,
+        "severity": finding.severity,
+        "device": finding.device,
+        "site": finding.site,
+        "metric": finding.detail.get("metric", ""),
+        "value": finding.detail.get("value"),
+    }
+
+
+class AnalyzerAgent(Agent):
+    """An analysis agent inside a processor-grid container.
+
+    Handles analysis jobs from the root and contract-net CFPs.  For a
+    level-1/2 job it fetches its cluster from storage (paying the Table 1
+    inference network cost), charges the inference CPU cost per record,
+    runs the rule engine over the sample + baseline facts, and returns the
+    resulting problems as findings.  For a level-3 job it fetches the
+    dataset summary, rebuilds the problem facts supplied by the root, and
+    runs the correlation rules.
+
+    Args:
+        name: agent name.
+        root_name: the grid root to register with (Figure 4).
+        knowledge_base: the rule :class:`~repro.rules.rulebase.KnowledgeBase`.
+        cost_model: Table 1 cost model.
+        register_on_start: send the container profile to the root at setup.
+    """
+
+    def __init__(self, name, root_name, knowledge_base, cost_model=None,
+                 register_on_start=True):
+        super().__init__(name)
+        self.root_name = root_name
+        self.knowledge_base = knowledge_base
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.register_on_start = register_on_start
+        self.responder = None
+        self.jobs_completed = 0
+        self.records_analyzed = 0
+        self.rules_fired = 0
+
+    def setup(self):
+        self.responder = ContractNetResponder(self)
+        if self.register_on_start:
+            self.send(ACLMessage(
+                Performative.INFORM,
+                sender=self.name,
+                receiver=self.root_name,
+                content=self.container.profile().to_content(),
+                ontology=CONTAINER_PROFILE.name,
+                size_units=self.cost_model.notify_size,
+            ))
+        analyzer = self
+
+        class Jobs(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.REQUEST,
+                    ontology=ANALYSIS_JOB.name,
+                ))
+                if message is not None:
+                    yield from analyzer._run_job(message)
+
+        class Negotiation(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    protocol=CONTRACT_NET,
+                ))
+                if message is None:
+                    return
+                if message.performative == Performative.CFP:
+                    analyzer.responder.bid(message)
+                # ACCEPT/REJECT need no action: the job arrives as REQUEST.
+
+        class Learning(CyclicBehaviour):
+            """Accepts rule specs pushed by the interface grid."""
+
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.INFORM,
+                    ontology="learn-rule",
+                ))
+                if message is not None:
+                    analyzer._learn_rule(message)
+
+        self.add_behaviour(Jobs("jobs"))
+        self.add_behaviour(Negotiation("negotiation"))
+        self.add_behaviour(Learning("learning"))
+
+    # -- job execution ------------------------------------------------------
+
+    def _run_job(self, message):
+        content = ANALYSIS_JOB.validate(message.content)
+        self.container.busy_agents += 1
+        try:
+            if content["level"] >= 3:
+                findings, analyzed = yield from self._run_cross_job(content)
+            else:
+                findings, analyzed = yield from self._run_cluster_job(content)
+        finally:
+            self.container.busy_agents -= 1
+        self.jobs_completed += 1
+        self.records_analyzed += analyzed
+        result = ANALYSIS_RESULT.make(
+            job_id=content["job_id"],
+            findings=findings,
+            records_analyzed=analyzed,
+        )
+        self.send(ACLMessage(
+            Performative.INFORM,
+            sender=self.name,
+            receiver=self.root_name,
+            content=dict(result),
+            ontology=ANALYSIS_RESULT.name,
+            size_units=self.cost_model.notify_size + 0.1 * len(findings),
+        ))
+
+    def _fetch(self, storage_query, size_units, conversation_tag):
+        """QUERY_REF to the storage agent; returns the INFORM content."""
+        conversation = "%s-%s" % (conversation_tag, self.name)
+        self.send(ACLMessage(
+            Performative.QUERY_REF,
+            sender=self.name,
+            receiver=self._storage_agent_name(),
+            content=storage_query,
+            conversation_id=conversation,
+            size_units=size_units,
+        ))
+        reply = yield from self.receive(
+            MessageTemplate(conversation_id=conversation), timeout=60.0,
+        )
+        if reply is None or reply.performative != Performative.INFORM:
+            return None
+        return reply.content
+
+    def _storage_agent_name(self):
+        # Storage agents are named after their host by the system facade;
+        # jobs carry the storage host name.
+        return self._current_storage_agent
+
+    def _run_cluster_job(self, content):
+        self._current_storage_agent = "storage@" + content["storage_host"]
+        fetched = yield from self._fetch(
+            {"op": "fetch-cluster", "dataset": content["dataset"],
+             "cluster": content["cluster"]},
+            size_units=self.cost_model.fetch_query_size
+            * max(1, content["record_count"]),
+            conversation_tag=content["job_id"],
+        )
+        if fetched is None:
+            return [], 0
+        records = fetched["records"]
+        baselines = fetched["baselines"]
+        for record in records:
+            infer_cost = self.cost_model.infer_cost(record.request_type)
+            if infer_cost.cpu:
+                yield self.cpu.use(infer_cost.cpu, label=TaskKind.INFER)
+        memory = WorkingMemory(clock=lambda: self.sim.now)
+        for record in records:
+            for fact in record.to_facts():
+                memory.assert_fact(fact)
+        for baseline in baselines:
+            memory.assert_fact(Fact(
+                "baseline",
+                device=baseline["device"],
+                metric=baseline["metric"],
+                instance=baseline["instance"],
+                mean=baseline["mean"],
+                maximum=baseline["maximum"],
+            ))
+        groups = self._rule_groups_for(content["cluster"])
+        engine = self.knowledge_base.engine_for(memory, groups=groups, max_level=2)
+        self.rules_fired += engine.run()
+        findings = [
+            Finding.from_fact(fact, level=2)
+            for fact in memory.facts("problem")
+        ]
+        return findings, len(records)
+
+    def _run_cross_job(self, content):
+        self._current_storage_agent = "storage@" + content["storage_host"]
+        yield from self._fetch(
+            {"op": "fetch-summary", "dataset": content["dataset"]},
+            size_units=self.cost_model.cross_query_size,
+            conversation_tag=content["job_id"],
+        )
+        cross_cost = self.cost_model.cross_cost()
+        if cross_cost.cpu:
+            yield self.cpu.use(cross_cost.cpu, label=TaskKind.INFER_CROSS)
+        memory = WorkingMemory(clock=lambda: self.sim.now)
+        for problem in content.get("problems", ()):
+            memory.assert_fact(Fact("problem", **problem))
+        engine = self.knowledge_base.engine_for(
+            memory, groups=("correlation",), max_level=3,
+        )
+        self.rules_fired += engine.run()
+        findings = [
+            Finding.from_fact(fact, level=3)
+            for fact in memory.facts("incident")
+        ]
+        return findings, 0
+
+    def _learn_rule(self, message):
+        """Install a rule shipped as a declarative spec (data, not code)."""
+        from repro.rules.catalog import RuleSpec
+
+        try:
+            rule = RuleSpec.from_dict(message.content).build()
+        except (KeyError, ValueError, TypeError) as exc:
+            self.reply_to(message, Performative.FAILURE,
+                          content={"reason": str(exc)})
+            return
+        if rule.name in self.knowledge_base:
+            self.reply_to(message, Performative.REFUSE,
+                          content={"reason": "rule %r already known" % rule.name})
+            return
+        self.knowledge_base.learn(rule)
+        self.reply_to(message, Performative.CONFIRM,
+                      content={"rule": rule.name})
+
+    def _rule_groups_for(self, cluster):
+        """Which rule groups to run for a cluster (knowledge selection)."""
+        if cluster in self.knowledge_base.groups():
+            return (cluster,)
+        return None  # non-group clustering: run all level<=2 rules
+
+    def __repr__(self):
+        return "AnalyzerAgent(%r, jobs=%d, records=%d)" % (
+            self.name, self.jobs_completed, self.records_analyzed,
+        )

@@ -1,0 +1,94 @@
+"""Reactive (trap-driven) collection.
+
+Polling alone reacts no faster than the collection interval.  Devices also
+push asynchronous traps (:mod:`repro.snmp.traps`); the
+:class:`ReactiveCollectionService` turns a trap into an immediate one-shot
+collection goal on the appropriate collector, so the very next records the
+analysis grid sees already cover the affected device.
+
+The trap-kind -> request-type mapping follows the metric groups: a CPU or
+memory trap triggers a performance poll (type A), a storage trap a type-B
+poll, a link trap a traffic poll (type C).
+"""
+
+from repro.core.records import CollectionGoal
+from repro.snmp.traps import TrapSink
+
+#: trap kind -> request type the reaction polls.
+DEFAULT_TRAP_POLICY = {
+    "cpuHigh": "A",
+    "memLow": "A",
+    "diskFull": "B",
+    "procTableFull": "B",
+    "linkDown": "C",
+    "linkUp": "C",
+    "trafficSpike": "C",
+}
+
+
+class ReactiveCollectionService:
+    """Binds a trap sink to a pool of collectors.
+
+    Args:
+        host: management host the sink listens on.
+        transport: the network transport.
+        collectors: collector agents available for reactive polls.
+        trap_policy: mapping trap kind -> request type ("A"/"B"/"C");
+            unmapped kinds poll type A by default.
+        cooldown: minimum seconds between reactions for one device (storm
+            suppression -- a flapping link must not melt the collectors).
+        port: sink port name.
+    """
+
+    def __init__(self, host, transport, collectors, trap_policy=None,
+                 cooldown=5.0, port="reactive-traps"):
+        if not collectors:
+            raise ValueError("need at least one collector")
+        self.sim = host.sim
+        self.collectors = list(collectors)
+        self.trap_policy = dict(trap_policy if trap_policy is not None
+                                else DEFAULT_TRAP_POLICY)
+        self.cooldown = cooldown
+        self.sink = TrapSink(host, transport, port=port)
+        self.sink.subscribe(self._on_trap)
+        self.reactions = 0
+        self.suppressed = 0
+        self._last_reaction = {}  # device -> sim time
+        self._next_collector = 0
+
+    @property
+    def address(self):
+        """Where devices should send traps."""
+        return self.sink.address
+
+    def _on_trap(self, trap):
+        now = self.sim.now
+        last = self._last_reaction.get(trap.device_name)
+        if last is not None and now - last < self.cooldown:
+            self.suppressed += 1
+            return
+        self._last_reaction[trap.device_name] = now
+        request_type = self.trap_policy.get(trap.kind, "A")
+        collector = self._pick_collector()
+        collector.add_goal(CollectionGoal(
+            trap.device_name, request_type, count=1, interval=1.0,
+            start_after=0.0,
+        ))
+        self.reactions += 1
+
+    def _pick_collector(self):
+        collector = self.collectors[self._next_collector % len(self.collectors)]
+        self._next_collector += 1
+        return collector
+
+    def stats(self):
+        return {
+            "traps_received": len(self.sink.received),
+            "reactions": self.reactions,
+            "suppressed": self.suppressed,
+        }
+
+    def __repr__(self):
+        return "ReactiveCollectionService(reactions=%d, suppressed=%d)" % (
+            self.reactions, self.suppressed,
+        )

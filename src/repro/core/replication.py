@@ -1,0 +1,134 @@
+"""Storage replication and fetch failover.
+
+The paper's future work: "Improving the efficacy of forms of storage,
+replication, indexing and recuperation of management data by agent grids."
+
+:class:`ReplicationService` mirrors everything the primary
+:class:`~repro.core.storage.ManagementDataStore` persists onto a replica
+store on another host: each replicated batch travels as a real message
+(NIC cost at both ends) and is re-stored on the replica (its Storing cost
+applies there too -- replication is not free).  A
+:class:`~repro.core.storage.StorageAgent` on the replica host serves
+analyzer fetches when the primary host dies; analyzers opt in via
+:func:`attach_failover`.
+"""
+
+from repro.agents.acl import ACLMessage, MessageTemplate, Performative
+from repro.core.storage import ManagementDataStore, StorageAgent
+
+
+class ReplicationService:
+    """Mirrors a primary store onto a replica host.
+
+    Args:
+        system: a built :class:`~repro.core.system.GridManagementSystem`
+            (provides platform/transport and the primary store).
+        replica_host: host carrying the replica (created by the caller).
+        lag: seconds between the primary write and the replica shipping
+            (asynchronous replication; 0 = ship immediately).
+    """
+
+    def __init__(self, system, replica_host, lag=0.5):
+        self.system = system
+        self.sim = system.sim
+        self.lag = lag
+        self.replica_store = ManagementDataStore(
+            replica_host, system.cost_model)
+        self.replica_container = system.platform.create_container(
+            "replica-container", replica_host, services=("storage",))
+        self.replica_agent = StorageAgent(
+            "storage@" + replica_host.name, self.replica_store)
+        self.replica_container.deploy(self.replica_agent)
+        self.batches_replicated = 0
+        self.records_replicated = 0
+        self._install_hook()
+
+    def _install_hook(self):
+        """Wrap the primary store's ``store_records`` to mirror writes."""
+        primary = self.system.store
+        original = primary.store_records
+        service = self
+
+        def replicated_store(records, dataset_id=None, cluster_of=None):
+            records = list(records)
+            stored = yield from original(
+                records, dataset_id=dataset_id, cluster_of=cluster_of)
+            if records:
+                service._ship(records, dataset_id)
+            return stored
+
+        primary.store_records = replicated_store
+
+    def _ship(self, records, dataset_id):
+        self.sim.schedule(self.lag, self._send_batch,
+                          (list(records), dataset_id))
+
+    def _send_batch(self, records, dataset_id):
+        primary_host = self.system.store.host
+        if not primary_host.up:
+            return  # primary died before shipping; batch is lost (async)
+        size = sum(record.size_units for record in records)
+        message = ACLMessage(
+            Performative.REQUEST,
+            sender=self.system.storage_agent.name,
+            receiver=self.replica_agent.name,
+            content={"op": "store-batch", "records": records,
+                     "dataset": dataset_id},
+            ontology="replication",
+            size_units=size,
+        )
+        self.system.platform.send(message)
+        self.batches_replicated += 1
+        self.records_replicated += len(records)
+
+    def failover_storage_host(self):
+        """The replica's host name (what analyzers fall back to)."""
+        return self.replica_store.host.name
+
+    def __repr__(self):
+        return "ReplicationService(batches=%d, records=%d)" % (
+            self.batches_replicated, self.records_replicated)
+
+
+def attach_failover(analyzer, replica_host_name, fetch_timeout=20.0):
+    """Teach an analyzer to retry fetches against a replica.
+
+    Replaces the analyzer's ``_fetch`` with a two-attempt version: primary
+    first (with a bounded patience), then the replica's storage agent.
+    The analyzer gains a ``fetch_failovers`` counter.
+    """
+    analyzer.fetch_failovers = 0
+
+    def fetch_with_failover(storage_query, size_units, conversation_tag):
+        result = yield from _query(
+            analyzer, analyzer._current_storage_agent, storage_query,
+            size_units, conversation_tag, fetch_timeout)
+        if result is not None:
+            return result
+        analyzer.fetch_failovers += 1
+        result = yield from _query(
+            analyzer, "storage@" + replica_host_name, storage_query,
+            size_units, conversation_tag + "-failover", fetch_timeout)
+        return result
+
+    analyzer._fetch = fetch_with_failover
+    return analyzer
+
+
+def _query(analyzer, storage_agent_name, storage_query, size_units,
+           conversation_tag, timeout):
+    """One bounded QUERY_REF round-trip (process generator)."""
+    conversation = "%s-%s" % (conversation_tag, analyzer.name)
+    analyzer.send(ACLMessage(
+        Performative.QUERY_REF,
+        sender=analyzer.name,
+        receiver=storage_agent_name,
+        content=storage_query,
+        conversation_id=conversation,
+        size_units=size_units,
+    ))
+    reply = yield from analyzer.receive(
+        MessageTemplate(conversation_id=conversation), timeout=timeout)
+    if reply is None or reply.performative != Performative.INFORM:
+        return None
+    return reply.content

@@ -1,0 +1,261 @@
+"""Management-data storage: indexed history, datasets and the storage agent.
+
+The classifier grid's output lands here: parsed records are persisted
+(paying the Table 1 "Storing" cost on the storage host), indexed by
+(device, metric) into a history that level-2 analyses consult as
+*baselines*, and grouped into *datasets* of *clusters* ready for
+distribution to analyzer containers.
+
+:class:`StorageAgent` exposes the store over ACL for analyzers on other
+hosts; fetch messages are sized so an analyzer's network ledger matches
+Table 1's inference network cost (see :class:`~repro.core.costs.CostModel`).
+"""
+
+import itertools
+
+from repro.agents.acl import MessageTemplate, Performative
+from repro.agents.agent import Agent
+from repro.agents.behaviours import CyclicBehaviour
+from repro.core.costs import DEFAULT_COST_MODEL, TaskKind
+
+
+class ManagementDataStore:
+    """Record persistence + history index + dataset registry on one host."""
+
+    def __init__(self, host, cost_model=None):
+        self.host = host
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self._history = {}   # (device, metric, instance) -> [(time, value)]
+        self._datasets = {}  # dataset_id -> {cluster_key: [records]}
+        self.records_stored = 0
+        self.fetches_served = 0
+
+    # -- persistence (process generators charging Table 1 costs) ----------
+
+    def store_records(self, records, dataset_id=None, cluster_of=None):
+        """Persist records (process generator charging STORE per record).
+
+        Args:
+            records: iterable of parsed :class:`ManagementRecord`.
+            dataset_id: when given, records are also grouped into that
+                dataset under ``cluster_of(record)`` keys.
+            cluster_of: callable record -> cluster key (defaults to the
+                record's metric group).
+        """
+        records = list(records)
+        if not records:
+            return 0
+        store_cost = self.cost_model.store_cost()
+        if cluster_of is None:
+            cluster_of = lambda record: record.group
+        for record in records:
+            if store_cost.cpu:
+                yield self.host.cpu.use(store_cost.cpu, label="store")
+            if store_cost.disk:
+                yield self.host.disk.use(store_cost.disk, label="store")
+            self._index(record)
+            if dataset_id is not None:
+                clusters = self._datasets.setdefault(dataset_id, {})
+                clusters.setdefault(cluster_of(record), []).append(record)
+            self.records_stored += 1
+        return len(records)
+
+    def _index(self, record):
+        for sample in record.samples:
+            if not isinstance(sample.value, (int, float)):
+                continue
+            key = (sample.device, sample.metric, sample.instance)
+            self._history.setdefault(key, []).append((sample.time, sample.value))
+
+    # -- dataset access -----------------------------------------------------
+
+    def dataset_ids(self):
+        return sorted(self._datasets)
+
+    def clusters_of(self, dataset_id):
+        return sorted(self._datasets.get(dataset_id, ()))
+
+    def fetch_cluster(self, dataset_id, cluster):
+        """Records of one cluster (no cost here; agents charge transfers)."""
+        self.fetches_served += 1
+        return list(self._datasets.get(dataset_id, {}).get(cluster, ()))
+
+    def dataset_size(self, dataset_id):
+        clusters = self._datasets.get(dataset_id, {})
+        return sum(len(records) for records in clusters.values())
+
+    def drop_dataset(self, dataset_id):
+        self._datasets.pop(dataset_id, None)
+
+    # -- history / baselines ---------------------------------------------------
+
+    def history(self, device, metric, instance=None):
+        return list(self._history.get((device, metric, instance), ()))
+
+    def baseline(self, device, metric, instance=None, exclude_after=None):
+        """Mean/max baseline for a series, or None when no history.
+
+        ``exclude_after`` drops observations newer than the given time so a
+        level-2 analysis can compare "now" against "before".
+        """
+        points = self._history.get((device, metric, instance))
+        if not points:
+            return None
+        values = [
+            value for time, value in points
+            if exclude_after is None or time <= exclude_after
+        ]
+        if not values:
+            return None
+        return {
+            "device": device,
+            "metric": metric,
+            "instance": instance,
+            "mean": sum(values) / len(values),
+            "maximum": max(values),
+            "count": len(values),
+        }
+
+    def baselines_for_records(self, records, exclude_after=None):
+        """Baselines for every (device, metric, instance) in ``records``."""
+        seen = set()
+        baselines = []
+        for record in records:
+            for sample in record.samples:
+                key = (sample.device, sample.metric, sample.instance)
+                if key in seen:
+                    continue
+                seen.add(key)
+                baseline = self.baseline(*key, exclude_after=exclude_after)
+                if baseline is not None:
+                    baselines.append(baseline)
+        return baselines
+
+    def summary(self):
+        return {
+            "records_stored": self.records_stored,
+            "series": len(self._history),
+            "datasets": len(self._datasets),
+            "fetches_served": self.fetches_served,
+        }
+
+    def __repr__(self):
+        return "ManagementDataStore(@%s, records=%d)" % (
+            self.host.name, self.records_stored,
+        )
+
+
+class StorageAgent(Agent):
+    """Serves a :class:`ManagementDataStore` over ACL.
+
+    Understood QUERY_REF operations (content dicts):
+
+    * ``{"op": "fetch-cluster", "dataset": ..., "cluster": ...}`` --
+      replies INFORM with ``{"records": [...], "baselines": [...]}``,
+      reply sized ``fetch_reply_size`` per record.
+    * ``{"op": "fetch-summary", "dataset": ...}`` -- replies INFORM with
+      the per-device problem-relevant summary for cross-inference, sized
+      ``cross_reply_size``.
+
+    REQUEST operation:
+
+    * ``{"op": "store-batch", "records": [...], "dataset": ...}`` --
+      persists records, replies CONFIRM.
+    """
+
+    def __init__(self, name, store):
+        super().__init__(name)
+        self.store = store
+        self.queries_answered = 0
+
+    @property
+    def cost_model(self):
+        return self.store.cost_model
+
+    def setup(self):
+        agent = self
+
+        class Serve(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.QUERY_REF))
+                if message is not None:
+                    yield from agent._answer_query(message)
+
+        class StoreBatches(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.REQUEST))
+                if message is not None:
+                    yield from agent._store_batch(message)
+
+        self.add_behaviour(Serve("serve-queries"))
+        self.add_behaviour(StoreBatches("store-batches"))
+
+    # -- handlers -----------------------------------------------------------
+
+    def _answer_query(self, message):
+        content = message.content
+        operation = content.get("op")
+        if operation == "fetch-cluster":
+            records = self.store.fetch_cluster(content["dataset"], content["cluster"])
+            # Baselines describe history *before* the batch under analysis;
+            # including the batch itself would dilute every trend/surge
+            # comparison toward 1.0.
+            cutoff = None
+            if records:
+                cutoff = min(record.collected_at for record in records) - 1e-9
+            baselines = self.store.baselines_for_records(
+                records, exclude_after=cutoff)
+            small_read = 0.5 * max(1, len(records))
+            yield self.host.disk.use(small_read, label="fetch")
+            self.queries_answered += 1
+            self.reply_to(
+                message, Performative.INFORM,
+                content={"records": records, "baselines": baselines},
+                size_units=self.cost_model.fetch_reply_size * max(1, len(records)),
+            )
+        elif operation == "fetch-summary":
+            dataset_id = content["dataset"]
+            summary = {
+                "dataset": dataset_id,
+                "record_count": self.store.dataset_size(dataset_id),
+                "clusters": self.store.clusters_of(dataset_id),
+                "store": self.store.summary(),
+            }
+            yield self.host.disk.use(1.0, label="fetch")
+            self.queries_answered += 1
+            self.reply_to(
+                message, Performative.INFORM, content=summary,
+                size_units=self.cost_model.cross_reply_size,
+            )
+        else:
+            self.reply_to(
+                message, Performative.NOT_UNDERSTOOD,
+                content={"reason": "unknown op %r" % operation},
+            )
+
+    def _store_batch(self, message):
+        content = message.content
+        if content.get("op") != "store-batch":
+            self.reply_to(
+                message, Performative.NOT_UNDERSTOOD,
+                content={"reason": "unknown op"},
+            )
+            return
+        records = content["records"]
+        stored = yield from self.store.store_records(
+            records, dataset_id=content.get("dataset"),
+            cluster_of=content.get("cluster_of"),
+        )
+        self.reply_to(
+            message, Performative.CONFIRM, content={"stored": stored},
+        )
+
+
+def new_dataset_id(prefix="ds"):
+    """A process-wide unique dataset identifier."""
+    return "%s-%d" % (prefix, next(_dataset_counter))
+
+
+_dataset_counter = itertools.count(1)

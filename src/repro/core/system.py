@@ -1,0 +1,386 @@
+"""The facade: build and run a full agent-grid management deployment.
+
+:class:`GridTopologySpec` describes a deployment (devices, collector /
+analysis / storage / interface hosts, policy, clustering);
+:class:`GridManagementSystem` instantiates everything -- simulator,
+network, SNMP devices, agent platform, the four grids -- wires Figure 2's
+data flow, and exposes run/report helpers used by examples, benches and
+the Figure 6 driver.
+"""
+
+from repro.agents.platform import AgentPlatform
+from repro.core.classifier import ClassifierAgent
+from repro.core.collector import CollectorAgent
+from repro.core.costs import DEFAULT_COST_MODEL
+from repro.core.interface import InterfaceAgent
+from repro.core.loadbalance import make_policy
+from repro.core.processor import AnalyzerAgent, ProcessorRootAgent
+from repro.core.records import CollectionGoal
+from repro.core.storage import ManagementDataStore, StorageAgent
+from repro.network.topology import Network
+from repro.network.transport import Transport
+from repro.rules.stdlib import standard_knowledge_base
+from repro.simkernel.simulator import Simulator
+from repro.snmp.device import ManagedDevice, PROFILES
+from repro.snmp.engine import SnmpEngine
+
+
+class DeviceSpec:
+    """One managed device in the deployment."""
+
+    def __init__(self, name, profile="server", site="site1"):
+        self.name = name
+        self.profile = profile
+        self.site = site
+
+    def __repr__(self):
+        return "DeviceSpec(%r, %s @ %s)" % (self.name, self.profile, self.site)
+
+
+class HostSpec:
+    """One management host in the deployment."""
+
+    def __init__(self, name, site="site1", cpu_capacity=10.0,
+                 disk_capacity=10.0, net_capacity=10.0, knowledge=()):
+        self.name = name
+        self.site = site
+        self.cpu_capacity = cpu_capacity
+        self.disk_capacity = disk_capacity
+        self.net_capacity = net_capacity
+        self.knowledge = tuple(knowledge)
+
+    def __repr__(self):
+        return "HostSpec(%r @ %s)" % (self.name, self.site)
+
+
+class GridTopologySpec:
+    """Everything needed to build a grid deployment.
+
+    Args:
+        devices: list of :class:`DeviceSpec`.
+        collector_hosts / analysis_hosts: lists of :class:`HostSpec`.
+        storage_host / interface_host: single :class:`HostSpec` each.
+        policy: placement-policy name (see
+            :func:`repro.core.loadbalance.make_policy`).
+        cluster_strategy: classifier clustering
+            ("by-group" / "by-device" / "by-site" or a callable).
+        dataset_threshold: records per dataset before the classifier
+            notifies the processor grid.
+        cost_model: Table 1 :class:`~repro.core.costs.CostModel`.
+        seed: master random seed.
+        knowledge_base_factory: zero-arg callable producing each analyzer's
+            knowledge base (defaults to the stock rule base).
+        job_timeout: processor-grid job re-dispatch timeout.
+        enable_cross: run level-3 cross analysis per dataset.
+        device_tick: device metric-dynamics period.
+    """
+
+    def __init__(
+        self,
+        devices,
+        collector_hosts,
+        analysis_hosts,
+        storage_host,
+        interface_host,
+        policy="knowledge",
+        cluster_strategy="by-group",
+        dataset_threshold=6,
+        cost_model=None,
+        seed=0,
+        knowledge_base_factory=None,
+        job_timeout=60.0,
+        enable_cross=True,
+        device_tick=1.0,
+        collector_parse_locally=True,
+        shipping_protocol=None,
+        wan=None,
+    ):
+        if not devices:
+            raise ValueError("at least one device is required")
+        if not collector_hosts:
+            raise ValueError("at least one collector host is required")
+        if not analysis_hosts:
+            raise ValueError("at least one analysis host is required")
+        self.devices = list(devices)
+        self.collector_hosts = list(collector_hosts)
+        self.analysis_hosts = list(analysis_hosts)
+        self.storage_host = storage_host
+        self.interface_host = interface_host
+        self.policy = policy
+        self.cluster_strategy = cluster_strategy
+        self.dataset_threshold = dataset_threshold
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.seed = seed
+        self.knowledge_base_factory = (
+            knowledge_base_factory if knowledge_base_factory is not None
+            else standard_knowledge_base
+        )
+        self.job_timeout = job_timeout
+        self.enable_cross = enable_cross
+        self.device_tick = device_tick
+        self.collector_parse_locally = collector_parse_locally
+        # Collector->classifier batch protocol ("http"/"smtp" or a
+        # ProtocolSpec); the paper ships "through any existing protocol
+        # such as SMTP or HTTP".
+        if shipping_protocol is None:
+            from repro.network.protocols import HTTP
+            shipping_protocol = HTTP
+        elif isinstance(shipping_protocol, str):
+            from repro.network.protocols import protocol_overhead
+            shipping_protocol = protocol_overhead(shipping_protocol)
+        self.shipping_protocol = shipping_protocol
+        self.wan = wan  # LinkSpec for cross-site traffic (None = default)
+
+    @classmethod
+    def paper_figure6c(cls, seed=0, **overrides):
+        """The paper's Figure 6(c) deployment: 3 collectors, 1 storage host,
+        2 inference hosts, 3 managed devices."""
+        parameters = dict(
+            devices=[
+                DeviceSpec("dev1", "server", "site1"),
+                DeviceSpec("dev2", "router", "site1"),
+                DeviceSpec("dev3", "server", "site1"),
+            ],
+            collector_hosts=[
+                HostSpec("collector1", "site1"),
+                HostSpec("collector2", "site1"),
+                HostSpec("collector3", "site1"),
+            ],
+            analysis_hosts=[
+                HostSpec("inference1", "site1"),
+                HostSpec("inference2", "site1"),
+            ],
+            storage_host=HostSpec("storage1", "site1"),
+            interface_host=HostSpec("interface1", "site1"),
+            seed=seed,
+        )
+        parameters.update(overrides)
+        return cls(**parameters)
+
+    def __repr__(self):
+        return "GridTopologySpec(devices=%d, collectors=%d, analyzers=%d)" % (
+            len(self.devices), len(self.collector_hosts), len(self.analysis_hosts),
+        )
+
+
+class GridManagementSystem:
+    """A fully wired agent-grid management deployment."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.cost_model = spec.cost_model
+        self.sim = Simulator(seed=spec.seed)
+        self.network = Network(self.sim, wan=spec.wan)
+        self.transport = Transport(self.network)
+        self.platform = AgentPlatform(self.sim, self.network, self.transport)
+        self.devices = {}
+        self.device_engines = {}
+        self.collectors = []
+        self.analyzers = []
+        self._build_devices()
+        self._build_storage_and_classifier()
+        self._build_interface()
+        self._build_processor_grid()
+        self._build_collector_grid()
+
+    # -- construction ----------------------------------------------------
+
+    def _build_devices(self):
+        for device_spec in self.spec.devices:
+            host = self.network.add_host(
+                device_spec.name, device_spec.site, role="device",
+            )
+            device = ManagedDevice(
+                self.sim, host, profile=device_spec.profile,
+                tick=self.spec.device_tick,
+            )
+            self.devices[device_spec.name] = device
+            self.device_engines[device_spec.name] = SnmpEngine(
+                device, self.transport,
+            )
+
+    def _add_management_host(self, host_spec, role):
+        """Create the host, or reuse it when another grid role co-locates.
+
+        Co-location is how the baseline architectures are expressed: the
+        centralized model puts every role on one "manager" host, the
+        multi-agent model co-locates storage/analysis/interface there while
+        keeping separate collector hosts.
+        """
+        if host_spec.name in self.network.hosts:
+            host = self.network.host(host_spec.name)
+            if host.role != role:
+                host.role = "manager"  # multiple roles = a manager station
+            return host
+        return self.network.add_host(
+            host_spec.name, host_spec.site, role=role,
+            cpu_capacity=host_spec.cpu_capacity,
+            disk_capacity=host_spec.disk_capacity,
+            net_capacity=host_spec.net_capacity,
+        )
+
+    def _build_storage_and_classifier(self):
+        host = self._add_management_host(self.spec.storage_host, "storage")
+        self.storage_container = self.platform.create_container(
+            "storage-container", host, services=("storage", "classification"),
+        )
+        self.store = ManagementDataStore(host, self.cost_model)
+        self.storage_agent = StorageAgent("storage@" + host.name, self.store)
+        self.storage_container.deploy(self.storage_agent)
+        self.classifier = ClassifierAgent(
+            "classifier",
+            store=self.store,
+            processor_name="pg-root",
+            cost_model=self.cost_model,
+            cluster_strategy=self.spec.cluster_strategy,
+            dataset_threshold=self.spec.dataset_threshold,
+        )
+        self.storage_container.deploy(self.classifier)
+
+    def _build_interface(self):
+        host = self._add_management_host(self.spec.interface_host, "interface")
+        self.interface_container = self.platform.create_container(
+            "interface-container", host, services=("interface",),
+        )
+        self.interface = InterfaceAgent("interface")
+        self.interface_container.deploy(self.interface)
+
+    def _build_processor_grid(self):
+        # The root is co-located with storage (it is a broker, not a worker).
+        self.root = ProcessorRootAgent(
+            "pg-root",
+            storage_agent_name=self.storage_agent.name,
+            interface_name=self.interface.name,
+            policy=make_policy(self.spec.policy),
+            cost_model=self.cost_model,
+            job_timeout=self.spec.job_timeout,
+            enable_cross=self.spec.enable_cross,
+        )
+        self.storage_container.deploy(self.root)
+        self.analysis_containers = []
+        for index, host_spec in enumerate(self.spec.analysis_hosts):
+            host = self._add_management_host(host_spec, "analysis")
+            container = self.platform.create_container(
+                "analysis-%d" % (index + 1), host,
+                services=("analysis",), knowledge=host_spec.knowledge,
+            )
+            self.analysis_containers.append(container)
+            analyzer = AnalyzerAgent(
+                "analyzer-%d" % (index + 1),
+                root_name=self.root.name,
+                knowledge_base=self.spec.knowledge_base_factory(),
+                cost_model=self.cost_model,
+            )
+            container.deploy(analyzer)
+            self.analyzers.append(analyzer)
+
+    def _build_collector_grid(self):
+        device_specs = {
+            name: (device.profile.interface_count, device.profile.process_slots)
+            for name, device in self.devices.items()
+        }
+        self.collector_containers = []
+        for index, host_spec in enumerate(self.spec.collector_hosts):
+            host = self._add_management_host(host_spec, "collector")
+            container = self.platform.create_container(
+                "collector-%d" % (index + 1), host, services=("collection",),
+            )
+            self.collector_containers.append(container)
+            collector = CollectorAgent(
+                "collector-%d" % (index + 1),
+                goals=[],
+                classifier_name=self.classifier.name,
+                cost_model=self.cost_model,
+                parse_locally=self.spec.collector_parse_locally,
+                device_specs=device_specs,
+                protocol=self.spec.shipping_protocol,
+            )
+            container.deploy(collector)
+            self.collectors.append(collector)
+
+    # -- goal assignment -------------------------------------------------------
+
+    def assign_goals(self, goals):
+        """Distribute goals round-robin across collector agents."""
+        for index, goal in enumerate(goals):
+            self.collectors[index % len(self.collectors)].add_goal(goal)
+
+    def make_paper_goals(self, polls_per_type=10, interval=1.0, stagger=0.1):
+        """The paper's workload: N requests of each type, spread over devices.
+
+        Request *i* of type *t* polls device ``i mod len(devices)``;
+        consecutive polls from one goal are spaced by ``interval`` and
+        goals start staggered so arrivals interleave.
+        """
+        device_names = sorted(self.devices)
+        goals = []
+        for type_index, request_type in enumerate(("A", "B", "C")):
+            for poll_index in range(polls_per_type):
+                device = device_names[poll_index % len(device_names)]
+                goals.append(CollectionGoal(
+                    device, request_type, count=1, interval=interval,
+                    start_after=stagger * (poll_index * 3 + type_index),
+                ))
+        return goals
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self, until=200.0):
+        """Advance the simulation (device dynamics run forever; bound it)."""
+        return self.sim.run(until=until)
+
+    def run_until_reports(self, count, timeout=600.0, settle=1.0):
+        """Run until the interface holds ``count`` reports (or timeout).
+
+        Returns True when the reports arrived.  ``settle`` extra seconds are
+        simulated afterwards so in-flight accounting completes.
+        """
+        event = self.interface.reports_event(count)
+        deadline = self.sim.now + timeout
+        while not event.triggered and self.sim.now < deadline:
+            step_until = min(deadline, self.sim.now + 5.0)
+            self.sim.run(until=step_until)
+        if event.triggered and settle > 0:
+            self.sim.run(until=self.sim.now + settle)
+        return event.triggered
+
+    def run_until_records(self, total, timeout=600.0, settle=1.0):
+        """Run until ``total`` records have been analyzed and reported.
+
+        Robust against the classifier splitting the workload into any
+        number of datasets (threshold closes *and* quiet-time flushes).
+        Returns True when every record made it through analysis.
+        """
+
+        def analyzed():
+            return sum(r.records_analyzed for r in self.interface.reports)
+
+        deadline = self.sim.now + timeout
+        while analyzed() < total and self.sim.now < deadline:
+            self.sim.run(until=min(deadline, self.sim.now + 5.0))
+        if analyzed() >= total and settle > 0:
+            self.sim.run(until=self.sim.now + settle)
+        return analyzed() >= total
+
+    def stop_devices(self):
+        for device in self.devices.values():
+            device.stop()
+
+    # -- reporting ------------------------------------------------------------------
+
+    def management_hosts(self):
+        """Hosts whose utilization Figure 6 reports (devices excluded)."""
+        return [
+            host for host in self.network.hosts.values()
+            if host.role != "device"
+        ]
+
+    def utilization_report(self, label="grid"):
+        from repro.evaluation.accounting import UtilizationReport
+
+        return UtilizationReport.from_hosts(
+            label, self.management_hosts(), horizon=self.sim.now,
+        )
+
+    def __repr__(self):
+        return "GridManagementSystem(%r)" % (self.spec,)

@@ -1,0 +1,6 @@
+"""Evaluation support: utilization accounting, tables, experiment runners."""
+
+from repro.evaluation.accounting import HostUtilization, UtilizationReport
+from repro.evaluation.tables import format_table
+
+__all__ = ["HostUtilization", "UtilizationReport", "format_table"]

@@ -1,0 +1,200 @@
+"""Experiment runners shared by the benchmark suite and the examples.
+
+Each function runs a complete experiment (often several architecture runs)
+and returns plain data structures; the benches format them with
+:mod:`repro.evaluation.tables`.  Keeping the logic here means tests can
+assert on experiment outcomes without going through pytest-benchmark.
+"""
+
+from repro.baselines.centralized import centralized_spec
+from repro.baselines.driver import run_architecture
+from repro.baselines.multiagent import multiagent_spec
+from repro.core.system import GridTopologySpec, HostSpec
+from repro.evaluation.accounting import compare_reports
+from repro.simkernel.resources import ResourceKind
+
+
+def _grid_spec_for(scenario, seed=0, cost_model=None, collector_count=3,
+                   analyzer_count=2, dataset_threshold=None, policy="knowledge",
+                   analyzer_capacities=None, **overrides):
+    """A grid spec sized for a scenario."""
+    if dataset_threshold is None:
+        dataset_threshold = scenario.total_requests
+    analysis_hosts = []
+    for index in range(analyzer_count):
+        capacity = 10.0
+        if analyzer_capacities:
+            capacity = analyzer_capacities[index % len(analyzer_capacities)]
+        analysis_hosts.append(HostSpec(
+            "inference%d" % (index + 1), "site1", cpu_capacity=capacity,
+        ))
+    return GridTopologySpec(
+        devices=list(scenario.devices),
+        collector_hosts=[
+            HostSpec("collector%d" % (index + 1), "site1")
+            for index in range(collector_count)
+        ],
+        analysis_hosts=analysis_hosts,
+        storage_host=HostSpec("storage1", "site1"),
+        interface_host=HostSpec("interface1", "site1"),
+        seed=seed,
+        cost_model=cost_model,
+        dataset_threshold=dataset_threshold,
+        policy=policy,
+        **overrides,
+    )
+
+
+def run_scenario_on_grid(scenario, seed=0, timeout=2000.0, label="grid",
+                         **spec_kwargs):
+    """Run one scenario on the grid architecture."""
+    spec = _grid_spec_for(scenario, seed=seed, **spec_kwargs)
+    return run_architecture(
+        spec, label=label,
+        polls_per_type=scenario.mix["A"],
+        interval=scenario.interval, stagger=scenario.stagger,
+        timeout=timeout,
+    )
+
+
+def run_all_architectures(scenario, seed=0, timeout=2000.0, cost_model=None):
+    """Run one scenario on centralized / multi-agent / grid."""
+    threshold = scenario.total_requests
+    results = {}
+    results["centralized"] = run_architecture(
+        centralized_spec(devices=list(scenario.devices), seed=seed,
+                         cost_model=cost_model, dataset_threshold=threshold),
+        label="centralized", polls_per_type=scenario.mix["A"],
+        interval=scenario.interval, stagger=scenario.stagger, timeout=timeout,
+    )
+    results["multiagent"] = run_architecture(
+        multiagent_spec(devices=list(scenario.devices), seed=seed,
+                        cost_model=cost_model, dataset_threshold=threshold),
+        label="multiagent", polls_per_type=scenario.mix["A"],
+        interval=scenario.interval, stagger=scenario.stagger, timeout=timeout,
+    )
+    results["grid"] = run_scenario_on_grid(
+        scenario, seed=seed, timeout=timeout, cost_model=cost_model,
+    )
+    return results
+
+
+def crossover_experiment(scenarios, seed=0, timeout=4000.0):
+    """X1: find where the grid starts beating the simpler architectures.
+
+    Returns a list of dicts, one per scenario point, with per-architecture
+    makespans and the winner.  The paper predicts a crossover: for small
+    workloads the grid's coordination overhead loses; past the crossover
+    it wins on both makespan and bottleneck relief.
+    """
+    rows = []
+    for scenario in scenarios:
+        results = run_all_architectures(scenario, seed=seed, timeout=timeout)
+        makespans = {
+            label: result.makespan for label, result in results.items()
+        }
+        winner = min(makespans, key=lambda label: makespans[label])
+        rows.append({
+            "requests_per_type": scenario.mix["A"],
+            "total_requests": scenario.total_requests,
+            "makespans": makespans,
+            "winner": winner,
+            "max_cpu_units": {
+                label: result.report.max_host(ResourceKind.CPU)[1]
+                for label, result in results.items()
+            },
+        })
+    return rows
+
+
+def loadbalance_ablation(scenario, policies, seed=0, timeout=2000.0,
+                         analyzer_count=3,
+                         analyzer_capacities=(20.0, 10.0, 5.0),
+                         dataset_threshold=3):
+    """X2: compare placement policies on a heterogeneous analyzer pool.
+
+    Small datasets (many jobs) + asymmetric CPU capacities make placement
+    matter; returns per-policy makespan and CPU balance index.
+    """
+    rows = []
+    for policy in policies:
+        result = run_scenario_on_grid(
+            scenario, seed=seed, timeout=timeout, policy=policy,
+            analyzer_count=analyzer_count,
+            analyzer_capacities=analyzer_capacities,
+            dataset_threshold=dataset_threshold,
+        )
+        analysis_rows = [
+            row for row in result.report if row.role == "analysis"
+        ]
+        cpu_units = {row.host_name: row.cpu_units for row in analysis_rows}
+        rows.append({
+            "policy": policy,
+            "makespan": result.makespan,
+            "completed": result.completed,
+            "analyzer_cpu_units": cpu_units,
+            "balance_index": result.report.balance_index(ResourceKind.CPU),
+        })
+    return rows
+
+
+def scalability_experiment(points, seed=0, timeout=8000.0):
+    """X3: devices/requests up, grid size up -- does max utilization hold?
+
+    ``points`` is a list of dicts with keys ``device_count``,
+    ``requests_per_type``, ``collector_count``, ``analyzer_count``.
+    """
+    from repro.workloads.scenarios import scaling_scenario
+
+    rows = []
+    for point in points:
+        scenario = scaling_scenario(
+            point["device_count"], point["requests_per_type"],
+        )
+        result = run_scenario_on_grid(
+            scenario, seed=seed, timeout=timeout,
+            collector_count=point.get("collector_count", 3),
+            analyzer_count=point.get("analyzer_count", 2),
+            dataset_threshold=point.get("dataset_threshold",
+                                        scenario.total_requests),
+        )
+        host_name, units = result.report.max_host(ResourceKind.CPU)
+        rows.append({
+            "device_count": point["device_count"],
+            "requests_per_type": point["requests_per_type"],
+            "collector_count": point.get("collector_count", 3),
+            "analyzer_count": point.get("analyzer_count", 2),
+            "makespan": result.makespan,
+            "completed": result.completed,
+            "max_cpu_host": host_name,
+            "max_cpu_units": units,
+            "total_cpu_units": result.report.total_units(ResourceKind.CPU),
+        })
+    return rows
+
+
+def sensitivity_experiment(scenario, factors, seed=0, timeout=2000.0):
+    """X5: scale the *estimated* Table 1 cells; does the F6 ordering hold?
+
+    Returns per-factor comparison entries (winner first) from
+    :func:`~repro.evaluation.accounting.compare_reports`.
+    """
+    from repro.core.costs import CostModel
+
+    rows = []
+    for factor in factors:
+        cost_model = CostModel().with_estimates_scaled(factor)
+        results = run_all_architectures(
+            scenario, seed=seed, timeout=timeout, cost_model=cost_model,
+        )
+        comparison = compare_reports(
+            [result.report for result in results.values()], ResourceKind.CPU,
+        )
+        rows.append({
+            "factor": factor,
+            "ordering": [entry["label"] for entry in comparison],
+            "max_units": {
+                entry["label"]: entry["max_host_units"] for entry in comparison
+            },
+        })
+    return rows

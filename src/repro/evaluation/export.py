@@ -1,0 +1,106 @@
+"""JSON export of evaluation artifacts.
+
+Reports, findings and comparison tables serialize to plain JSON so results
+can leave the simulator (CI artifacts, notebooks, the CLI's ``--json``
+flag).  Import is provided for utilization reports so sweeps can be
+aggregated offline.
+"""
+
+import json
+
+from repro.evaluation.accounting import HostUtilization, UtilizationReport
+
+
+def utilization_report_to_dict(report):
+    """A JSON-ready dict for a :class:`UtilizationReport`."""
+    return {
+        "label": report.label,
+        "horizon": report.horizon,
+        "makespan": report.makespan,
+        "hosts": [
+            {
+                "name": row.host_name,
+                "role": row.role,
+                "units": dict(row.units),
+                "busy_time": dict(row.busy_time),
+            }
+            for row in report
+        ],
+    }
+
+
+def utilization_report_from_dict(payload):
+    """Rebuild a :class:`UtilizationReport` from its dict form."""
+    rows = [
+        HostUtilization(
+            host["name"], host["role"], host["units"], host["busy_time"],
+            payload["horizon"],
+        )
+        for host in payload["hosts"]
+    ]
+    return UtilizationReport(
+        payload["label"], rows, payload["horizon"], payload.get("makespan"),
+    )
+
+
+def finding_to_dict(finding):
+    return {
+        "kind": finding.kind,
+        "severity": finding.severity,
+        "device": finding.device,
+        "site": finding.site,
+        "level": finding.level,
+        "detail": {
+            key: value for key, value in finding.detail.items()
+            if _is_json_value(value)
+        },
+    }
+
+
+def management_report_to_dict(report):
+    return {
+        "report_id": report.report_id,
+        "dataset_id": report.dataset_id,
+        "generated_at": report.generated_at,
+        "records_analyzed": report.records_analyzed,
+        "findings": [finding_to_dict(finding) for finding in report.findings],
+    }
+
+
+def run_result_to_dict(result):
+    """Serialize a :class:`~repro.baselines.driver.RunResult`."""
+    return {
+        "label": result.label,
+        "completed": result.completed,
+        "makespan": result.makespan,
+        "records_analyzed": result.records_analyzed,
+        "utilization": utilization_report_to_dict(result.report),
+        "findings": [finding_to_dict(f) for f in result.findings],
+    }
+
+
+def dump_json(payload, path=None, indent=2):
+    """Serialize to a JSON string, optionally writing it to ``path``."""
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def load_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _is_json_value(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_is_json_value(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _is_json_value(item)
+            for key, item in value.items()
+        )
+    return False

@@ -1,0 +1,123 @@
+"""Golden-result regression checking.
+
+A reproduction is only useful while it keeps reproducing.  This module
+captures an experiment's headline numbers as a *golden* JSON file and
+verifies later runs against it within declared tolerances -- so a refactor
+that silently shifts the Figure 6 ordering or inflates a bottleneck by 2x
+fails loudly in CI.
+
+Usage::
+
+    golden = GoldenResult.capture("figure6", {"grid_max_cpu": 440.0, ...})
+    golden.save("benchmarks/golden/figure6.json")
+    ...
+    golden = GoldenResult.load("benchmarks/golden/figure6.json")
+    report = golden.check({"grid_max_cpu": 441.2, ...}, rel_tol=0.05)
+    assert report.ok, report.describe()
+"""
+
+import json
+
+
+class RegressionReport:
+    """Outcome of one golden check."""
+
+    def __init__(self, name, mismatches, missing, unexpected):
+        self.name = name
+        self.mismatches = mismatches    # [(key, golden, actual, rel_err)]
+        self.missing = missing          # keys absent from the actual run
+        self.unexpected = unexpected    # keys absent from the golden file
+
+    @property
+    def ok(self):
+        return not self.mismatches and not self.missing
+
+    def describe(self):
+        lines = ["golden check %r: %s" % (
+            self.name, "OK" if self.ok else "FAILED")]
+        for key, golden, actual, rel_err in self.mismatches:
+            lines.append("  %s: golden=%r actual=%r (rel err %.1f%%)" % (
+                key, golden, actual, 100 * rel_err))
+        for key in self.missing:
+            lines.append("  missing metric: %s" % key)
+        for key in self.unexpected:
+            lines.append("  new metric (not golden-tracked): %s" % key)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "RegressionReport(%r, ok=%s)" % (self.name, self.ok)
+
+
+class GoldenResult:
+    """A named set of golden metrics with tolerance-aware checking."""
+
+    def __init__(self, name, metrics):
+        self.name = name
+        self.metrics = dict(metrics)
+        for key, value in self.metrics.items():
+            if not isinstance(value, (int, float, str, bool, list)):
+                raise TypeError(
+                    "golden metric %r has non-serializable value %r"
+                    % (key, value))
+
+    @classmethod
+    def capture(cls, name, metrics):
+        return cls(name, metrics)
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            json.dump({"name": self.name, "metrics": self.metrics},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            payload = json.load(handle)
+        return cls(payload["name"], payload["metrics"])
+
+    def check(self, actual_metrics, rel_tol=0.05, abs_tol=1e-9):
+        """Compare a fresh run's metrics against the golden values.
+
+        Numeric values compare within ``rel_tol`` (relative) or ``abs_tol``
+        (for near-zero goldens); everything else must match exactly.
+        """
+        mismatches = []
+        missing = []
+        for key, golden in self.metrics.items():
+            if key not in actual_metrics:
+                missing.append(key)
+                continue
+            actual = actual_metrics[key]
+            if isinstance(golden, bool) or not isinstance(
+                    golden, (int, float)):
+                if actual != golden:
+                    mismatches.append((key, golden, actual, float("inf")))
+                continue
+            scale = max(abs(golden), abs_tol)
+            rel_err = abs(actual - golden) / scale
+            if abs(actual - golden) > abs_tol and rel_err > rel_tol:
+                mismatches.append((key, golden, actual, rel_err))
+        unexpected = sorted(set(actual_metrics) - set(self.metrics))
+        return RegressionReport(self.name, mismatches, missing, unexpected)
+
+    def __repr__(self):
+        return "GoldenResult(%r, metrics=%d)" % (self.name, len(self.metrics))
+
+
+def figure6_metrics(results):
+    """The headline metrics golden-tracked for the Figure 6 experiment.
+
+    ``results`` is the dict from
+    :func:`repro.baselines.driver.run_figure6`.
+    """
+    from repro.simkernel.resources import ResourceKind
+
+    metrics = {}
+    for label, result in results.items():
+        host, units = result.report.max_host(ResourceKind.CPU)
+        metrics[label + "_max_cpu_units"] = units
+        metrics[label + "_bottleneck_host"] = host
+        metrics[label + "_makespan"] = result.makespan
+        metrics[label + "_records"] = result.records_analyzed
+    return metrics

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for bench output.
+
+The benches print the same row/series structure the paper's tables and
+figures report; this module is the one place that formats them.
+"""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: list of column headers.
+        rows: list of row sequences (stringified with ``str``).
+        title: optional title line above the table.
+    """
+    headers = [str(header) for header in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row has %d cells, expected %d" % (len(row), len(headers))
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[index])
+                         for index, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_number(value, digits=1):
+    """Compact numeric formatting for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, int):
+        return str(value)
+    if abs(value - round(value)) < 1e-9:
+        return str(int(round(value)))
+    return ("%%.%df" % digits) % value

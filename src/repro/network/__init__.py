@@ -1,0 +1,35 @@
+"""Simulated network substrate: hosts, sites, links and message transport.
+
+Hosts own CPU / disk / NIC :class:`~repro.simkernel.resources.Resource`
+instances whose ledgers are what the evaluation reads.  The
+:class:`Transport` delivers :class:`Message` objects between bound ports,
+charging network units at both endpoints and applying link latency and
+bandwidth-proportional transit delay.
+"""
+
+from repro.network.addressing import Address
+from repro.network.topology import Host, LinkSpec, Network, Site
+from repro.network.transport import DeliveryError, Message, Transport
+from repro.network.protocols import (
+    HTTP,
+    SMTP,
+    BatchEnvelope,
+    ProtocolSpec,
+    protocol_overhead,
+)
+
+__all__ = [
+    "Address",
+    "BatchEnvelope",
+    "DeliveryError",
+    "HTTP",
+    "Host",
+    "LinkSpec",
+    "Message",
+    "Network",
+    "ProtocolSpec",
+    "SMTP",
+    "Site",
+    "Transport",
+    "protocol_overhead",
+]

@@ -1,0 +1,48 @@
+"""Addressing for the simulated network.
+
+An :class:`Address` names a (host, port) endpoint.  Ports are symbolic
+strings ("snmp", "acl", "batch-in") rather than numbers; the paper's agents
+exchange messages over named channels (SNMP, SMTP, HTTP, FIPA ACL) and the
+symbolic form keeps traces readable.
+"""
+
+
+class Address:
+    """Immutable (host, port) endpoint identifier."""
+
+    __slots__ = ("host", "port")
+
+    def __init__(self, host, port):
+        if not host:
+            raise ValueError("host must be non-empty")
+        if not port:
+            raise ValueError("port must be non-empty")
+        object.__setattr__(self, "host", host)
+        object.__setattr__(self, "port", port)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Address is immutable")
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"host:port"`` into an Address."""
+        host, sep, port = text.partition(":")
+        if not sep:
+            raise ValueError("address %r is not of the form host:port" % text)
+        return cls(host, port)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Address)
+            and other.host == self.host
+            and other.port == self.port
+        )
+
+    def __hash__(self):
+        return hash((self.host, self.port))
+
+    def __str__(self):
+        return "%s:%s" % (self.host, self.port)
+
+    def __repr__(self):
+        return "Address(%r, %r)" % (self.host, self.port)

@@ -1,0 +1,86 @@
+"""Application-protocol envelopes.
+
+The paper ships collected-data batches between grids "through any existing
+protocol such as SMTP or HTTP" and sends notifications as FIPA ACL
+messages.  We model protocols as overhead factors on payload size: the
+protocol choice changes how many network units a batch costs, which feeds
+the Figure 6 network bars and the protocol-ablation bench.
+"""
+
+
+class ProtocolSpec:
+    """Size model for an application protocol.
+
+    ``size(payload_units) = fixed_overhead + payload_units * factor``
+    """
+
+    def __init__(self, name, fixed_overhead, factor):
+        if fixed_overhead < 0 or factor <= 0:
+            raise ValueError("invalid protocol parameters")
+        self.name = name
+        self.fixed_overhead = float(fixed_overhead)
+        self.factor = float(factor)
+
+    def size(self, payload_units):
+        if payload_units < 0:
+            raise ValueError("payload_units must be >= 0")
+        return self.fixed_overhead + payload_units * self.factor
+
+    def __repr__(self):
+        return "ProtocolSpec(%r, fixed=%g, factor=%g)" % (
+            self.name,
+            self.fixed_overhead,
+            self.factor,
+        )
+
+
+#: HTTP-style shipping: small per-message overhead, compact body.
+HTTP = ProtocolSpec("http", fixed_overhead=0.2, factor=1.0)
+#: SMTP-style shipping: heavier envelope + base64-ish expansion.
+SMTP = ProtocolSpec("smtp", fixed_overhead=0.5, factor=1.33)
+#: FIPA ACL notification: tiny, near-constant control message.
+ACL = ProtocolSpec("acl", fixed_overhead=0.1, factor=1.0)
+
+_REGISTRY = {spec.name: spec for spec in (HTTP, SMTP, ACL)}
+
+
+def protocol_overhead(name):
+    """Look up a registered :class:`ProtocolSpec` by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError("unknown protocol %r (known: %s)" % (
+            name, ", ".join(sorted(_REGISTRY)))) from None
+
+
+class BatchEnvelope:
+    """A batch of management records wrapped for shipping.
+
+    The envelope knows its wire size (protocol applied to the sum of record
+    sizes), so senders can construct a single :class:`Message` per batch.
+    """
+
+    def __init__(self, records, protocol=HTTP):
+        self.records = list(records)
+        self.protocol = protocol
+
+    @property
+    def payload_units(self):
+        return sum(record.size_units for record in self.records)
+
+    @property
+    def wire_units(self):
+        return self.protocol.size(self.payload_units)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self):
+        return "BatchEnvelope(n=%d, wire=%.2f via %s)" % (
+            len(self.records),
+            self.wire_units,
+            self.protocol.name,
+        )

@@ -1,0 +1,194 @@
+"""Hosts, sites and links.
+
+The topology model matches the paper's deployment sketch (Figure 2): hosts
+are grouped into *sites* (Site I, Site II, ...).  Hosts within a site talk
+over a LAN link spec; hosts in different sites talk over the WAN spec.  A
+host carries the three accounted resources the evaluation reports on --
+CPU, disk and network interface.
+"""
+
+from repro.simkernel.resources import Resource, ResourceKind
+
+
+class LinkSpec:
+    """Latency/bandwidth/loss parameters for a class of links.
+
+    Args:
+        latency: one-way propagation delay in simulated seconds.
+        bandwidth: payload units per second for transit-time computation
+            (independent of the NIC capacity, which models endpoint work).
+        loss_rate: probability a message is lost in transit (the grid must
+            tolerate imperfect WANs; losses surface as delivery errors and
+            the protocols above retry).
+    """
+
+    def __init__(self, latency, bandwidth, loss_rate=0.0):
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be within [0, 1)")
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.loss_rate = float(loss_rate)
+
+    def transit_time(self, size_units):
+        """Propagation + serialization delay for a payload."""
+        return self.latency + size_units / self.bandwidth
+
+    def __repr__(self):
+        return "LinkSpec(latency=%g, bandwidth=%g, loss=%g)" % (
+            self.latency, self.bandwidth, self.loss_rate)
+
+
+#: Reasonable defaults: LAN is fast/low-latency; WAN has the "high latency"
+#: the paper says grids must tolerate.
+DEFAULT_LAN = LinkSpec(latency=0.001, bandwidth=10000.0)
+DEFAULT_WAN = LinkSpec(latency=0.050, bandwidth=1000.0)
+LOOPBACK = LinkSpec(latency=0.0, bandwidth=1e9)
+
+
+class Site:
+    """A group of hosts sharing a LAN."""
+
+    def __init__(self, name, lan=None):
+        self.name = name
+        self.lan = lan if lan is not None else DEFAULT_LAN
+        self.hosts = []
+
+    def __repr__(self):
+        return "Site(%r, hosts=%d)" % (self.name, len(self.hosts))
+
+
+class Host:
+    """A machine with accounted CPU, disk and network-interface resources.
+
+    Args:
+        sim: the simulator.
+        name: unique host name.
+        site: owning :class:`Site`.
+        cpu_capacity / disk_capacity / net_capacity: units per second each
+            resource can serve.  These are the knobs that make a host "big"
+            or "small" in load-balancing experiments.
+        role: free-form tag ("manager", "collector", "device", ...) used by
+            the evaluation to group hosts in reports.
+        tags: extra labels (e.g. capabilities) for directory experiments.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        site,
+        cpu_capacity=10.0,
+        disk_capacity=10.0,
+        net_capacity=10.0,
+        role="host",
+        tags=(),
+    ):
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.role = role
+        self.tags = tuple(tags)
+        self.cpu = Resource(sim, "cpu", ResourceKind.CPU, cpu_capacity, owner=self)
+        self.disk = Resource(sim, "disk", ResourceKind.DISK, disk_capacity, owner=self)
+        self.nic = Resource(sim, "nic", ResourceKind.NET, net_capacity, owner=self)
+        self.up = True
+        self._ports = {}
+        site.hosts.append(self)
+
+    # -- port binding (used by Transport) --------------------------------
+
+    def bind(self, port, handler):
+        """Register ``handler(message)`` for deliveries to ``port``."""
+        if port in self._ports:
+            raise ValueError("port %r already bound on %s" % (port, self.name))
+        self._ports[port] = handler
+
+    def unbind(self, port):
+        self._ports.pop(port, None)
+
+    def handler_for(self, port):
+        return self._ports.get(port)
+
+    # -- convenience -------------------------------------------------------
+
+    def resource(self, kind):
+        if kind == ResourceKind.CPU:
+            return self.cpu
+        if kind == ResourceKind.DISK:
+            return self.disk
+        if kind == ResourceKind.NET:
+            return self.nic
+        raise ValueError("unknown resource kind %r" % kind)
+
+    def resources(self):
+        return (self.cpu, self.nic, self.disk)
+
+    def fail(self):
+        """Mark the host down; the transport drops traffic to/from it."""
+        self.up = False
+
+    def recover(self):
+        self.up = True
+
+    def __repr__(self):
+        return "Host(%r, site=%r, role=%r)" % (self.name, self.site.name, self.role)
+
+
+class Network:
+    """The full topology: sites, hosts and link selection.
+
+    Routing is trivially hierarchical, as in the paper's two-site sketch:
+    loopback within a host, the site's LAN spec within a site, the WAN spec
+    across sites.
+    """
+
+    def __init__(self, sim, wan=None):
+        self.sim = sim
+        self.wan = wan if wan is not None else DEFAULT_WAN
+        self.sites = {}
+        self.hosts = {}
+
+    def add_site(self, name, lan=None):
+        if name in self.sites:
+            raise ValueError("site %r already exists" % name)
+        site = Site(name, lan)
+        self.sites[name] = site
+        return site
+
+    def site(self, name):
+        """Fetch a site, creating it with default LAN parameters if new."""
+        if name not in self.sites:
+            return self.add_site(name)
+        return self.sites[name]
+
+    def add_host(self, name, site_name, **kwargs):
+        """Create a host in ``site_name`` (site auto-created)."""
+        if name in self.hosts:
+            raise ValueError("host %r already exists" % name)
+        host = Host(self.sim, name, self.site(site_name), **kwargs)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name):
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError("unknown host %r" % name) from None
+
+    def link_between(self, src, dst):
+        """The :class:`LinkSpec` governing src -> dst traffic."""
+        if src is dst:
+            return LOOPBACK
+        if src.site is dst.site:
+            return src.site.lan
+        return self.wan
+
+    def hosts_by_role(self, role):
+        return [h for h in self.hosts.values() if h.role == role]
+
+    def __repr__(self):
+        return "Network(sites=%d, hosts=%d)" % (len(self.sites), len(self.hosts))

@@ -1,0 +1,170 @@
+"""Message transport over the simulated topology.
+
+Semantics (see DESIGN.md section 5):
+
+* the sender's NIC *queues* the payload (``nic.use``) -- a busy NIC delays
+  further sends, which is how network bottlenecks emerge;
+* the link adds latency plus size/bandwidth transit time;
+* the receiver's NIC is *charged* the payload units (accounting without
+  queueing -- receive-side contention is negligible at the paper's scale);
+* the handler bound to the destination port is invoked with the message.
+
+Delivery to a down host (or an unbound port, unless ``best_effort``) raises
+:class:`DeliveryError` into the sending process via the returned event.
+"""
+
+import itertools
+
+from repro.network.addressing import Address
+
+
+class DeliveryError(Exception):
+    """A message could not be delivered."""
+
+    def __init__(self, message, reason):
+        super().__init__("%s (message %s -> %s)" % (reason, message.sender, message.dest))
+        self.message = message
+        self.reason = reason
+
+
+class Message:
+    """A payload travelling between two (host, port) endpoints.
+
+    Args:
+        sender / dest: :class:`~repro.network.addressing.Address`.
+        payload: arbitrary Python object (records batch, ACL message, ...).
+        size_units: abstract network units -- the quantity charged to NICs
+            and divided by bandwidth for transit time.
+        protocol: symbolic protocol name ("snmp", "http", "smtp", "acl").
+        label: ledger label for the NIC charge (defaults to protocol).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sender, dest, payload, size_units, protocol="raw", label=None):
+        if size_units < 0:
+            raise ValueError("size_units must be >= 0")
+        self.id = next(Message._ids)
+        self.sender = sender
+        self.dest = dest
+        self.payload = payload
+        self.size_units = float(size_units)
+        self.protocol = protocol
+        self.label = label if label is not None else protocol
+        self.sent_at = None
+        self.delivered_at = None
+
+    @property
+    def latency(self):
+        if self.sent_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+    def __repr__(self):
+        return "Message(#%d %s->%s, %s, %g units)" % (
+            self.id,
+            self.sender,
+            self.dest,
+            self.protocol,
+            self.size_units,
+        )
+
+
+class Transport:
+    """Delivers messages between bound host ports with full cost accounting."""
+
+    def __init__(self, network, best_effort=False):
+        self.network = network
+        self.sim = network.sim
+        self.best_effort = best_effort
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.units_carried = 0.0
+
+    def send(self, message):
+        """Asynchronously deliver ``message``.
+
+        Returns a :class:`~repro.simkernel.events.SimEvent` that triggers
+        with the message on delivery, or with a :class:`DeliveryError` on
+        failure (the caller decides whether to inspect it).
+        """
+        done = self.sim.event("delivery#%d" % message.id)
+        message.sent_at = self.sim.now
+        self.messages_sent += 1
+        self.sim.spawn(self._deliver(message, done), name="deliver#%d" % message.id)
+        return done
+
+    def send_and_wait(self, message):
+        """Process helper: ``result = yield from transport.send_and_wait(m)``.
+
+        Raises :class:`DeliveryError` inside the calling process on failure.
+        """
+        outcome = yield self.send(message)
+        if isinstance(outcome, DeliveryError):
+            raise outcome
+        return outcome
+
+    def _deliver(self, message, done):
+        src = self.network.host(message.sender.host)
+        try:
+            dst = self.network.host(message.dest.host)
+        except KeyError:
+            self._drop(message, done, "unknown destination host")
+            return
+        if not src.up:
+            self._drop(message, done, "sender host down")
+            return
+        # Sender NIC queues the payload (this is where send contention bites).
+        if message.size_units > 0:
+            yield src.nic.use(message.size_units, label=message.label)
+        link = self.network.link_between(src, dst)
+        transit = link.transit_time(message.size_units)
+        if transit > 0:
+            yield transit
+        if link.loss_rate > 0 and \
+                self.sim.rng("transport-loss").random() < link.loss_rate:
+            self._drop(message, done, "lost in transit")
+            return
+        if not dst.up:
+            self._drop(message, done, "destination host down")
+            return
+        handler = dst.handler_for(message.dest.port)
+        if handler is None:
+            if self.best_effort:
+                self._drop(message, done, "port not bound")
+                return
+            self._drop(message, done, "port %r not bound on %s" % (
+                message.dest.port, dst.name))
+            return
+        if message.size_units > 0:
+            dst.nic.charge(message.size_units, label=message.label)
+        message.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        self.units_carried += message.size_units
+        handler(message)
+        done.trigger(message)
+
+    def _drop(self, message, done, reason):
+        self.messages_dropped += 1
+        done.trigger(DeliveryError(message, reason))
+
+    # -- convenience ---------------------------------------------------------
+
+    def address(self, host_name, port):
+        return Address(host_name, port)
+
+    def stats(self):
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "dropped": self.messages_dropped,
+            "units_carried": self.units_carried,
+        }
+
+    def __repr__(self):
+        return "Transport(sent=%d, delivered=%d, dropped=%d)" % (
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+        )

@@ -1,0 +1,96 @@
+"""Declarative rule specifications.
+
+The interface grid "can learn new rules and transmit them to the grid" --
+transmission needs rules as *data*, not Python callables.  A
+:class:`RuleSpec` names a factory from the catalog plus its parameters
+(and an optional rename); it serializes to a plain dict that travels in
+ACL message content, and rebuilds into a live
+:class:`~repro.rules.engine.Rule` at the receiving analyzer.
+
+The catalog contains every parameterizable stock rule.  Projects can
+register their own factories with :func:`register_factory`.
+"""
+
+from repro.rules import stdlib
+
+#: name -> zero-or-more-kwarg factory returning a Rule.
+_FACTORIES = {
+    "high-cpu": stdlib.high_cpu_rule,
+    "low-memory": stdlib.low_memory_rule,
+    "high-load": stdlib.high_load_rule,
+    "low-disk": stdlib.low_disk_rule,
+    "process-storm": stdlib.process_storm_rule,
+    "interface-down": stdlib.interface_down_rule,
+    "traffic-surge": stdlib.traffic_surge_rule,
+    "memory-trend": stdlib.memory_trend_rule,
+    "silent-interface": stdlib.silent_interface_rule,
+    "load-trend": stdlib.load_trend_rule,
+    "disk-projection": stdlib.disk_projection_rule,
+    "site-overload": stdlib.site_overload_rule,
+    "cascade-failure": stdlib.cascade_failure_rule,
+    "resource-exhaustion": stdlib.resource_exhaustion_rule,
+    "multi-site-overload": stdlib.multi_site_overload_rule,
+}
+
+
+def register_factory(name, factory):
+    """Add a custom rule factory to the catalog."""
+    if name in _FACTORIES:
+        raise ValueError("factory %r already registered" % name)
+    _FACTORIES[name] = factory
+
+
+def factory_names():
+    return sorted(_FACTORIES)
+
+
+class RuleSpec:
+    """A serializable description of a rule instantiation.
+
+    Args:
+        factory: catalog factory name.
+        params: keyword arguments for the factory.
+        rename: optional new rule name (so a re-parameterized variant can
+            coexist with the stock rule in one knowledge base).
+    """
+
+    def __init__(self, factory, params=None, rename=None):
+        if factory not in _FACTORIES:
+            raise KeyError("unknown rule factory %r (known: %s)" % (
+                factory, ", ".join(factory_names())))
+        self.factory = factory
+        self.params = dict(params or {})
+        self.rename = rename
+
+    def build(self):
+        """Instantiate the live Rule."""
+        rule = _FACTORIES[self.factory](**self.params)
+        if self.rename:
+            rule.name = self.rename
+        return rule
+
+    def to_dict(self):
+        payload = {"factory": self.factory, "params": dict(self.params)}
+        if self.rename:
+            payload["rename"] = self.rename
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not isinstance(payload, dict) or "factory" not in payload:
+            raise ValueError("malformed rule spec %r" % (payload,))
+        return cls(
+            payload["factory"],
+            payload.get("params"),
+            payload.get("rename"),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RuleSpec)
+            and other.to_dict() == self.to_dict()
+        )
+
+    def __repr__(self):
+        return "RuleSpec(%r, params=%r, rename=%r)" % (
+            self.factory, self.params, self.rename)

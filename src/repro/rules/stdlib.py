@@ -1,0 +1,505 @@
+"""Stock network-management rules.
+
+These encode the analyses the paper sketches: threshold checks on the
+collected metrics (level 1), consolidation against stored history
+(level 2), and cross-device/cross-fact correlation (level 3, "problems
+that arose through the crossing of information from a whole complex of
+equipment and not just isolated data").
+
+Facts consumed:
+
+* ``sample`` -- one collected metric value:
+  ``device, site, group, metric, value, time``.
+* ``baseline`` -- historical aggregate from storage (level 2):
+  ``device, metric, mean, maximum``.
+* ``problem`` -- produced by level-1/2 rules, consumed by level 3.
+
+Facts produced: ``problem`` and (level 3) ``incident``.
+"""
+
+from repro.rules.conditions import EQ, GT, LT, Pattern, Var
+from repro.rules.engine import Rule
+from repro.rules.rulebase import KnowledgeBase
+
+#: Severities attached to produced problems.
+SEV_WARNING = "warning"
+SEV_MINOR = "minor"
+SEV_MAJOR = "major"
+SEV_CRITICAL = "critical"
+
+
+def _problem(kind, severity):
+    """An action asserting a problem derived from the bound ``sample`` fact."""
+
+    def action(context):
+        sample = context.get("sample")
+        context.assert_fact(
+            "problem",
+            kind=kind,
+            severity=severity,
+            device=context["device"],
+            site=context.get("site", ""),
+            value=sample.get("value") if sample is not None else context.get("value"),
+            metric=sample.get("metric") if sample is not None else context.get("metric", ""),
+        )
+
+    return action
+
+
+def high_cpu_rule(threshold=90.0):
+    return Rule(
+        "high-cpu",
+        [Pattern(
+            "sample", bind="sample", metric="cpu_load", value=GT(threshold),
+            device=Var("device"), site=Var("site"),
+        )],
+        _problem("high-cpu", SEV_MAJOR),
+        group="performance",
+        level=1,
+    )
+
+
+def low_memory_rule(threshold_kb=100 * 1024):
+    return Rule(
+        "low-memory",
+        [Pattern(
+            "sample", bind="sample", metric="mem_available", value=LT(threshold_kb),
+            device=Var("device"), site=Var("site"),
+        )],
+        _problem("low-memory", SEV_MINOR),
+        group="performance",
+        level=1,
+    )
+
+
+def high_load_rule(threshold=4.0):
+    return Rule(
+        "high-load",
+        [Pattern(
+            "sample", bind="sample", metric="load_avg", value=GT(threshold),
+            device=Var("device"), site=Var("site"),
+        )],
+        _problem("high-load", SEV_WARNING),
+        group="performance",
+        level=1,
+    )
+
+
+def low_disk_rule(threshold_kb=512 * 1024):
+    return Rule(
+        "low-disk",
+        [Pattern(
+            "sample", bind="sample", metric="disk_free", value=LT(threshold_kb),
+            device=Var("device"), site=Var("site"),
+        )],
+        _problem("low-disk", SEV_MAJOR),
+        group="storage",
+        level=1,
+    )
+
+
+def process_storm_rule(threshold=400):
+    return Rule(
+        "process-storm",
+        [Pattern(
+            "sample", bind="sample", metric="proc_count", value=GT(threshold),
+            device=Var("device"), site=Var("site"),
+        )],
+        _problem("process-storm", SEV_WARNING),
+        group="storage",
+        level=1,
+    )
+
+
+def interface_down_rule():
+    return Rule(
+        "interface-down",
+        [Pattern(
+            "sample", metric="if_oper_status", value=EQ(2),
+            device=Var("device"), site=Var("site"), instance=Var("instance"),
+        )],
+        lambda context: context.assert_fact(
+            "problem",
+            kind="interface-down",
+            severity=SEV_CRITICAL,
+            device=context["device"],
+            site=context["site"],
+            value=context["instance"],
+            metric="if_oper_status",
+        ),
+        group="traffic",
+        level=1,
+    )
+
+
+def traffic_surge_rule(factor=3.0):
+    """Level 2: current interface *rate* far above the stored baseline.
+
+    Operates on the ``if_in_rate`` samples the classifier derives from the
+    cumulative SNMP counters (comparing raw counters against their own
+    history cannot see a surge).
+    """
+
+    def action(context):
+        context.assert_fact(
+            "problem",
+            kind="traffic-surge",
+            severity=SEV_MINOR,
+            device=context["device"],
+            site=context.get("site", ""),
+            value=context["value"],
+            metric="if_in_rate",
+        )
+
+    return Rule(
+        "traffic-surge",
+        [
+            Pattern(
+                "sample", metric="if_in_rate", device=Var("device"),
+                site=Var("site"), value=Var("value"), instance=Var("instance"),
+            ),
+            Pattern(
+                "baseline", metric="if_in_rate", device=Var("device"),
+                instance=Var("instance"), mean=Var("mean"),
+            ),
+        ],
+        _surge_guard(action, factor),
+        group="traffic",
+        level=2,
+    )
+
+
+def _surge_guard(action, factor):
+    """Wrap an action with the value > factor * mean guard.
+
+    The cross-variable comparison cannot be expressed as a single-attribute
+    predicate, so it is checked at fire time; non-qualifying activations
+    simply do nothing.
+    """
+
+    def guarded(context):
+        mean = context["mean"]
+        value = context["value"]
+        if mean is not None and value is not None and mean > 0 and value > factor * mean:
+            action(context)
+
+    return guarded
+
+
+def memory_trend_rule(drop_fraction=0.5):
+    """Level 2: available memory far below its historical mean (leak hint)."""
+
+    def action(context):
+        context.assert_fact(
+            "problem",
+            kind="memory-leak-suspect",
+            severity=SEV_MAJOR,
+            device=context["device"],
+            site=context.get("site", ""),
+            value=context["value"],
+            metric="mem_available",
+        )
+
+    def guarded(context):
+        mean = context["mean"]
+        value = context["value"]
+        if mean and value is not None and value < drop_fraction * mean:
+            action(context)
+
+    return Rule(
+        "memory-trend",
+        [
+            Pattern(
+                "sample", bind="sample", metric="mem_available", device=Var("device"),
+                site=Var("site"), value=Var("value"),
+            ),
+            Pattern(
+                "baseline", metric="mem_available", device=Var("device"),
+                mean=Var("mean"),
+            ),
+        ],
+        guarded,
+        group="performance",
+        level=2,
+    )
+
+
+def site_overload_rule():
+    """Level 3: two distinct devices at one site with high CPU -> incident."""
+
+    def action(context):
+        first = context["first"]
+        second = context["second"]
+        if first["device"] >= second["device"]:
+            return  # fire once per unordered pair
+        context.assert_fact(
+            "incident",
+            kind="site-overload",
+            severity=SEV_CRITICAL,
+            site=context["site"],
+            devices=tuple(sorted((first["device"], second["device"]))),
+        )
+
+    return Rule(
+        "site-overload",
+        [
+            Pattern("problem", kind="high-cpu", site=Var("site"), bind="first"),
+            Pattern("problem", kind="high-cpu", site=Var("site"), bind="second"),
+        ],
+        action,
+        group="correlation",
+        level=3,
+    )
+
+
+def cascade_failure_rule():
+    """Level 3: an interface down plus a traffic surge elsewhere at the site.
+
+    The paper's canonical cross-equipment example: traffic rerouted around a
+    dead link overloads a neighbour.
+    """
+
+    def action(context):
+        if context["down_device"] == context["surge_device"]:
+            return
+        context.assert_fact(
+            "incident",
+            kind="cascade-failure",
+            severity=SEV_CRITICAL,
+            site=context["site"],
+            devices=(context["down_device"], context["surge_device"]),
+        )
+
+    return Rule(
+        "cascade-failure",
+        [
+            Pattern(
+                "problem", kind="interface-down", site=Var("site"),
+                device=Var("down_device"),
+            ),
+            Pattern(
+                "problem", kind="traffic-surge", site=Var("site"),
+                device=Var("surge_device"),
+            ),
+        ],
+        action,
+        group="correlation",
+        level=3,
+    )
+
+
+def resource_exhaustion_rule():
+    """Level 3: one device both low on disk and low on memory."""
+
+    def action(context):
+        context.assert_fact(
+            "incident",
+            kind="resource-exhaustion",
+            severity=SEV_MAJOR,
+            site=context.get("site", ""),
+            devices=(context["device"],),
+        )
+
+    return Rule(
+        "resource-exhaustion",
+        [
+            Pattern("problem", kind="low-disk", device=Var("device"), site=Var("site")),
+            Pattern("problem", kind="low-memory", device=Var("device")),
+        ],
+        action,
+        group="correlation",
+        level=3,
+    )
+
+
+def silent_interface_rule(rate_floor=1.0):
+    """Level 1: an interface that is operationally up but moving no data.
+
+    Joins the oper-status sample with the classifier-derived rate sample of
+    the same device *and instance* -- a black-holing link looks healthy to
+    a status check alone.
+    """
+
+    def action(context):
+        context.assert_fact(
+            "problem",
+            kind="silent-interface",
+            severity=SEV_MINOR,
+            device=context["device"],
+            site=context["site"],
+            value=context["instance"],
+            metric="if_in_rate",
+        )
+
+    return Rule(
+        "silent-interface",
+        [
+            Pattern(
+                "sample", metric="if_oper_status", value=EQ(1),
+                device=Var("device"), site=Var("site"),
+                instance=Var("instance"),
+            ),
+            Pattern(
+                "sample", metric="if_in_rate", value=LT(rate_floor),
+                device=Var("device"), instance=Var("instance"),
+            ),
+        ],
+        action,
+        group="traffic",
+        level=1,
+    )
+
+
+def load_trend_rule(factor=2.0):
+    """Level 2: load average well above its own history (creeping load)."""
+
+    def action(context):
+        context.assert_fact(
+            "problem",
+            kind="load-trend",
+            severity=SEV_WARNING,
+            device=context["device"],
+            site=context.get("site", ""),
+            value=context["value"],
+            metric="load_avg",
+        )
+
+    def guarded(context):
+        mean = context["mean"]
+        value = context["value"]
+        if mean and value is not None and value > factor * mean:
+            action(context)
+
+    return Rule(
+        "load-trend",
+        [
+            Pattern(
+                "sample", metric="load_avg", device=Var("device"),
+                site=Var("site"), value=Var("value"),
+            ),
+            Pattern(
+                "baseline", metric="load_avg", device=Var("device"),
+                mean=Var("mean"),
+            ),
+        ],
+        guarded,
+        group="performance",
+        level=2,
+    )
+
+
+def disk_projection_rule(drop_fraction=0.25):
+    """Level 2: free disk sharply below its history -> filling disk.
+
+    Fires before the absolute low-disk threshold does, giving operators
+    lead time ("identify eventual problems" early is the whole point of
+    the analysis grid).
+    """
+
+    def action(context):
+        context.assert_fact(
+            "problem",
+            kind="disk-filling",
+            severity=SEV_MAJOR,
+            device=context["device"],
+            site=context.get("site", ""),
+            value=context["value"],
+            metric="disk_free",
+        )
+
+    def guarded(context):
+        mean = context["mean"]
+        value = context["value"]
+        if mean and value is not None and value < (1.0 - drop_fraction) * mean:
+            action(context)
+
+    return Rule(
+        "disk-projection",
+        [
+            Pattern(
+                "sample", metric="disk_free", device=Var("device"),
+                site=Var("site"), value=Var("value"),
+            ),
+            Pattern(
+                "baseline", metric="disk_free", device=Var("device"),
+                mean=Var("mean"),
+            ),
+        ],
+        guarded,
+        group="storage",
+        level=2,
+    )
+
+
+def multi_site_overload_rule():
+    """Level 3: the same overload signature at two *different* sites.
+
+    This is the correlation the paper's Figure 5 baseline structurally
+    cannot perform ("Each network has a similar structure and there's no
+    relation among different sites [...] no high level analysis can be
+    carried out"): it requires one analysis point seeing both sites'
+    problems.
+    """
+
+    def action(context):
+        first = context["first"]
+        second = context["second"]
+        if first["site"] >= second["site"]:
+            return  # fire once per unordered site pair
+        context.assert_fact(
+            "incident",
+            kind="multi-site-overload",
+            severity=SEV_CRITICAL,
+            site=",".join(sorted((first["site"], second["site"]))),
+            devices=tuple(sorted((first["device"], second["device"]))),
+        )
+
+    return Rule(
+        "multi-site-overload",
+        [
+            Pattern("problem", kind="high-cpu", bind="first"),
+            Pattern("problem", kind="high-cpu", bind="second"),
+        ],
+        action,
+        group="correlation",
+        level=3,
+    )
+
+
+#: Default thresholds used by :func:`standard_knowledge_base`.
+DEFAULT_THRESHOLDS = {
+    "cpu_percent": 90.0,
+    "memory_kb": 100 * 1024,
+    "load_avg": 4.0,
+    "disk_kb": 512 * 1024,
+    "process_count": 400,
+    "surge_factor": 3.0,
+    "memory_drop_fraction": 0.5,
+    "silent_rate_floor": 1.0,
+    "load_trend_factor": 2.0,
+    "disk_drop_fraction": 0.25,
+}
+
+
+def standard_knowledge_base(name="network-management", thresholds=None):
+    """The full stock rule base, all groups and levels."""
+    params = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        params.update(thresholds)
+    kb = KnowledgeBase(name)
+    kb.add(high_cpu_rule(params["cpu_percent"]))
+    kb.add(low_memory_rule(params["memory_kb"]))
+    kb.add(high_load_rule(params["load_avg"]))
+    kb.add(low_disk_rule(params["disk_kb"]))
+    kb.add(process_storm_rule(params["process_count"]))
+    kb.add(interface_down_rule())
+    kb.add(traffic_surge_rule(params["surge_factor"]))
+    kb.add(memory_trend_rule(params["memory_drop_fraction"]))
+    kb.add(silent_interface_rule(params["silent_rate_floor"]))
+    kb.add(load_trend_rule(params["load_trend_factor"]))
+    kb.add(disk_projection_rule(params["disk_drop_fraction"]))
+    kb.add(site_overload_rule())
+    kb.add(cascade_failure_rule())
+    kb.add(resource_exhaustion_rule())
+    kb.add(multi_site_overload_rule())
+    return kb

@@ -1,0 +1,137 @@
+"""Event primitives for the discrete-event kernel.
+
+Two kinds of "event" live here and they are deliberately distinct:
+
+* :class:`ScheduledEvent` -- an entry in the simulator's time-ordered queue
+  (a callback that fires at a simulated instant).  Created by
+  :meth:`Simulator.schedule <repro.simkernel.simulator.Simulator.schedule>`.
+* :class:`SimEvent` -- a one-shot condition that processes can *wait on*
+  (``yield event``) and that any code can *trigger* with a value.  This is
+  the rendezvous primitive used for message queues, job completion and
+  process joins.
+"""
+
+import heapq
+import itertools
+
+
+class ScheduledEvent:
+    """A cancellable callback scheduled at an absolute simulated time.
+
+    Ordering: time, then priority (lower fires first), then insertion order,
+    which keeps runs fully deterministic.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, priority, seq, callback, args):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def sort_key(self):
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other):
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "ScheduledEvent(t=%g, prio=%d, %s)" % (self.time, self.priority, state)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`ScheduledEvent`.
+
+    Cancelled events stay in the heap and are skipped on pop; this keeps
+    cancellation O(1) at the cost of occasional lazy cleanup.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time, callback, args=(), priority=0):
+        """Insert a callback to fire at absolute ``time``; returns the event."""
+        event = ScheduledEvent(time, priority, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Remove and return the next non-cancelled event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self):
+        """Time of the next live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self):
+        self._heap = []
+
+
+class SimEvent:
+    """A one-shot event that simulation processes can wait on.
+
+    Usage from a process generator::
+
+        value = yield some_event      # suspends until triggered
+
+    Triggering an already-triggered event raises; waiting on a triggered
+    event resumes the waiter immediately (at the current instant) with the
+    stored value, so there is no lost-wakeup race.
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters")
+
+    def __init__(self, sim, name=""):
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value = None
+        self._waiters = []
+
+    def trigger(self, value=None):
+        """Fire the event, resuming every waiter with ``value``."""
+        if self.triggered:
+            raise RuntimeError("SimEvent %r triggered twice" % (self.name,))
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0.0, callback, (value,))
+
+    def add_waiter(self, callback):
+        """Register ``callback(value)``; called now if already triggered."""
+        if self.triggered:
+            self.sim.schedule(0.0, callback, (self.value,))
+        else:
+            self._waiters.append(callback)
+
+    def discard_waiter(self, callback):
+        """Remove a pending waiter if present (used by process kill)."""
+        try:
+            self._waiters.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self):
+        state = "triggered" if self.triggered else "pending"
+        return "SimEvent(%r, %s)" % (self.name, state)

@@ -1,0 +1,149 @@
+"""Lightweight metric primitives used across the reproduction.
+
+These are intentionally simple: the evaluation harness mostly reads the
+resource ledgers directly, but components also expose counters (messages
+sent, rules fired, jobs dispatched) and time series (queue depth over time)
+through a :class:`MetricRegistry`.
+"""
+
+import math
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError("Counter can only increase (got %r)" % amount)
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%s=%g)" % (self.name, self.value)
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    def __init__(self, name, value=0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value):
+        self.value = value
+
+    def add(self, delta):
+        self.value += delta
+
+    def __repr__(self):
+        return "Gauge(%s=%g)" % (self.name, self.value)
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` observations."""
+
+    def __init__(self, name):
+        self.name = name
+        self.points = []
+
+    def record(self, time, value):
+        if self.points and time < self.points[-1][0]:
+            raise ValueError("time must be non-decreasing")
+        self.points.append((time, value))
+
+    def __len__(self):
+        return len(self.points)
+
+    def values(self):
+        return [value for _, value in self.points]
+
+    def times(self):
+        return [time for time, _ in self.points]
+
+    def last(self):
+        if not self.points:
+            return None
+        return self.points[-1][1]
+
+    def mean(self):
+        if not self.points:
+            return 0.0
+        return sum(value for _, value in self.points) / len(self.points)
+
+    def maximum(self):
+        if not self.points:
+            return 0.0
+        return max(value for _, value in self.points)
+
+    def percentile(self, q):
+        """Linear-interpolated percentile of the recorded values; q in [0,100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be within [0, 100]")
+        if not self.points:
+            return 0.0
+        ordered = sorted(value for _, value in self.points)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high or ordered[low] == ordered[high]:
+            return ordered[low]
+        frac = rank - low
+        interpolated = ordered[low] * (1 - frac) + ordered[high] * frac
+        # clamp: float rounding (e.g. subnormals) must not escape the bracket
+        return min(max(interpolated, ordered[low]), ordered[high])
+
+    def time_weighted_mean(self, horizon=None):
+        """Mean of a step function defined by the observations."""
+        if not self.points:
+            return 0.0
+        end = horizon if horizon is not None else self.points[-1][0]
+        total = 0.0
+        for (t0, v0), (t1, _) in zip(self.points, self.points[1:]):
+            total += v0 * (t1 - t0)
+        last_t, last_v = self.points[-1]
+        if end > last_t:
+            total += last_v * (end - last_t)
+        span = end - self.points[0][0]
+        if span <= 0:
+            return self.points[-1][1]
+        return total / span
+
+    def __repr__(self):
+        return "TimeSeries(%s, n=%d)" % (self.name, len(self.points))
+
+
+class MetricRegistry:
+    """Namespaced factory/lookup for counters, gauges and series."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._series = {}
+
+    def counter(self, name):
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name):
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def series(self, name):
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def snapshot(self):
+        """Plain-dict dump of every metric (counters/gauges by value)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "series": {n: list(s.points) for n, s in sorted(self._series.items())},
+        }

@@ -1,0 +1,199 @@
+"""Capacity-limited resources with busy-time accounting.
+
+A :class:`Resource` models one of a host's serving elements -- CPU, disk
+subsystem, or network interface.  Work arrives as :class:`Use` requests
+carrying an abstract amount of *units* (the paper's Table 1 values).  The
+resource serves requests one at a time in FIFO-within-priority order;
+service time is ``units / capacity``.  Every served unit is recorded in a
+ledger broken down by label, which is exactly what the Figure 6 bench reads
+back out.
+"""
+
+import collections
+import heapq
+import itertools
+
+
+class ResourceKind:
+    """Resource categories used throughout the reproduction."""
+
+    CPU = "cpu"
+    DISK = "disk"
+    NET = "network"
+
+    ALL = (CPU, NET, DISK)
+
+
+class Use:
+    """A pending request for ``units`` of work on a resource.
+
+    Created via :meth:`Resource.use`; yield it from a process.  After the
+    yield resumes, :attr:`wait_time` and :attr:`service_time` describe how
+    the request fared (useful for latency metrics).
+    """
+
+    __slots__ = (
+        "resource",
+        "units",
+        "label",
+        "priority",
+        "process",
+        "enqueued_at",
+        "started_at",
+        "wait_time",
+        "service_time",
+        "abandoned",
+    )
+
+    def __init__(self, resource, units, label, priority):
+        self.resource = resource
+        self.units = units
+        self.label = label
+        self.priority = priority
+        self.process = None
+        self.enqueued_at = None
+        self.started_at = None
+        self.wait_time = None
+        self.service_time = None
+        self.abandoned = False
+
+    def __repr__(self):
+        return "Use(%s, units=%g, label=%r)" % (
+            self.resource.full_name,
+            self.units,
+            self.label,
+        )
+
+
+class Resource:
+    """A single-server, FIFO-within-priority resource with a busy ledger.
+
+    Args:
+        sim: owning simulator.
+        name: short name (e.g. ``"cpu"``).
+        kind: one of :class:`ResourceKind`.
+        capacity: units served per simulated second (must be > 0).
+        owner: optional owning object (a Host); used in ``full_name``.
+    """
+
+    def __init__(self, sim, name, kind, capacity, owner=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive, got %r" % capacity)
+        self.sim = sim
+        self.name = name
+        self.kind = kind
+        self.capacity = float(capacity)
+        self.owner = owner
+        self.busy_time = 0.0
+        self.total_units = 0.0
+        self.units_by_label = collections.Counter()
+        self.completed_requests = 0
+        self._queue = []
+        self._seq = itertools.count()
+        self._serving = None
+
+    @property
+    def full_name(self):
+        if self.owner is not None:
+            return "%s.%s" % (getattr(self.owner, "name", self.owner), self.name)
+        return self.name
+
+    @property
+    def queue_length(self):
+        """Requests waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self):
+        return self._serving is not None
+
+    def utilization(self, horizon=None):
+        """Busy fraction over ``horizon`` (defaults to current sim time)."""
+        if horizon is None:
+            horizon = self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / horizon
+
+    def use(self, units, label="work", priority=0):
+        """Build a :class:`Use` request; yield it from a process."""
+        if units < 0:
+            raise ValueError("units must be >= 0, got %r" % units)
+        return Use(self, float(units), label, priority)
+
+    def charge(self, units, label="direct"):
+        """Account units without occupying the server.
+
+        Used for costs that are proportional to work done but not modelled
+        as queueing (e.g. the far end of a network transfer).  Busy time
+        still advances so utilization reflects the charge.
+        """
+        if units < 0:
+            raise ValueError("units must be >= 0, got %r" % units)
+        self.total_units += units
+        self.units_by_label[label] += units
+        self.busy_time += units / self.capacity
+
+    # -- kernel internals -------------------------------------------------
+
+    def _enqueue(self, process, request):
+        request.process = process
+        request.enqueued_at = self.sim.now
+        heapq.heappush(self._queue, (request.priority, next(self._seq), request))
+        self._try_start()
+
+    def _abandon(self, request):
+        """Mark a queued request abandoned (its process was detached)."""
+        request.abandoned = True
+        if self._serving is request:
+            # Service completes but resumes nobody; ledger already charged.
+            self._serving = None
+            # Note: the completion callback checks `abandoned`.
+
+    def _try_start(self):
+        if self._serving is not None:
+            return
+        while self._queue:
+            _, _, request = heapq.heappop(self._queue)
+            if request.abandoned:
+                continue
+            self._start(request)
+            return
+
+    def _start(self, request):
+        self._serving = request
+        request.started_at = self.sim.now
+        request.wait_time = request.started_at - request.enqueued_at
+        duration = request.units / self.capacity
+        request.service_time = duration
+        self.sim.schedule(duration, self._complete, (request,))
+
+    def _complete(self, request):
+        if self._serving is request:
+            self._serving = None
+        if not request.abandoned:
+            self.busy_time += request.service_time
+            self.total_units += request.units
+            self.units_by_label[request.label] += request.units
+            self.completed_requests += 1
+            self.sim._step(request.process, send=request)
+        self._try_start()
+
+    def snapshot(self):
+        """A plain-dict view of the ledger (stable for reports/tests)."""
+        return {
+            "name": self.full_name,
+            "kind": self.kind,
+            "capacity": self.capacity,
+            "busy_time": self.busy_time,
+            "total_units": self.total_units,
+            "completed_requests": self.completed_requests,
+            "units_by_label": dict(self.units_by_label),
+        }
+
+    def __repr__(self):
+        return "Resource(%s, kind=%s, busy=%g)" % (
+            self.full_name,
+            self.kind,
+            self.busy_time,
+        )

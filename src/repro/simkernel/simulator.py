@@ -1,0 +1,294 @@
+"""The simulator: clock, event loop and generator-based processes.
+
+Processes are plain Python generators.  They communicate with the kernel by
+``yield``-ing one of:
+
+* a number -- sleep for that many simulated seconds;
+* a :class:`~repro.simkernel.events.SimEvent` -- wait until it is triggered
+  (the trigger value becomes the result of the yield);
+* a :class:`~repro.simkernel.resources.Use` request (obtained from
+  ``resource.use(units)``) -- queue for the resource and resume once the
+  work has been served (busy time is accounted on the resource);
+* another :class:`Process` -- join it (the joined process's return value
+  becomes the result of the yield).
+
+Example::
+
+    def worker(sim, cpu):
+        yield 1.0                      # sleep
+        yield cpu.use(10, label="parse")
+        return "done"
+
+    sim = Simulator(seed=42)
+    proc = sim.spawn(worker(sim, cpu), name="worker")
+    sim.run()
+    assert proc.result == "done"
+"""
+
+from repro.simkernel.events import EventQueue, SimEvent
+from repro.simkernel.resources import Use
+from repro.simkernel.rng import RngStream
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused."""
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator when it is killed."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Attributes:
+        name: human-readable identifier (unique-ified by the simulator).
+        done: True once the generator has finished or been killed.
+        result: the generator's return value (``None`` if killed/failed).
+        error: exception that escaped the generator, if any.
+    """
+
+    def __init__(self, sim, generator, name):
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.done = False
+        self.result = None
+        self.error = None
+        self.alive = True
+        self._completion = SimEvent(sim, name=name + ".done")
+        self._pending_wait = None  # (SimEvent, callback) while blocked on one
+        self._pending_timer = None  # ScheduledEvent while sleeping
+        self._pending_use = None  # Use while queued/served on a resource
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def completion(self):
+        """SimEvent triggered with the result when the process ends."""
+        return self._completion
+
+    def kill(self):
+        """Terminate the process immediately; no further resumption."""
+        if self.done or not self.alive:
+            return
+        self.alive = False
+        self._detach()
+        try:
+            self.generator.close()
+        except Exception as exc:  # a misbehaving finally block
+            self.error = exc
+        self._finish(None, killed=True)
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupted` into the process at its wait point."""
+        if self.done or not self.alive:
+            return
+        self._detach()
+        self.sim._step(self, throw=Interrupted(cause))
+
+    # -- kernel internals ----------------------------------------------
+
+    def _detach(self):
+        """Remove the process from whatever it is currently blocked on."""
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        if self._pending_wait is not None:
+            event, callback = self._pending_wait
+            event.discard_waiter(callback)
+            self._pending_wait = None
+        if self._pending_use is not None:
+            self._pending_use.resource._abandon(self._pending_use)
+            self._pending_use = None
+
+    def _finish(self, result, killed=False):
+        self.done = True
+        self.alive = False
+        self.result = result
+        if not self._completion.triggered:
+            self._completion.trigger(result)
+        if killed:
+            return
+        if self.error is not None and not self.sim.swallow_process_errors:
+            raise self.error
+
+    def __repr__(self):
+        state = "done" if self.done else "running"
+        return "Process(%r, %s)" % (self.name, state)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: master seed; all component RNG streams derive from it.
+        swallow_process_errors: if True, exceptions escaping processes are
+            recorded on ``process.error`` instead of aborting the run
+            (used by fault-injection benches).
+    """
+
+    def __init__(self, seed=0, swallow_process_errors=False):
+        self.now = 0.0
+        self.seed = seed
+        self.swallow_process_errors = swallow_process_errors
+        self.queue = EventQueue()
+        self.processes = []
+        self._name_counts = {}
+        self._trace_hooks = []
+        self._rng_streams = {}
+
+    # -- time & events ---------------------------------------------------
+
+    def schedule(self, delay, callback, args=(), priority=0):
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
+        return self.queue.push(self.now + delay, callback, args, priority)
+
+    def event(self, name=""):
+        """Create a fresh :class:`SimEvent` bound to this simulator."""
+        return SimEvent(self, name=name)
+
+    def timeout_event(self, delay, value=None, name="timeout"):
+        """A SimEvent that self-triggers after ``delay`` seconds."""
+        event = self.event(name)
+        self.schedule(delay, event.trigger, (value,))
+        return event
+
+    # -- processes --------------------------------------------------------
+
+    def spawn(self, generator, name=None):
+        """Start a new process from a generator; returns the Process."""
+        if name is None:
+            name = getattr(generator, "__name__", "process")
+        count = self._name_counts.get(name, 0)
+        self._name_counts[name] = count + 1
+        if count:
+            name = "%s#%d" % (name, count)
+        process = Process(self, generator, name)
+        self.processes.append(process)
+        self.schedule(0.0, self._step, (process, None, None), priority=0)
+        return process
+
+    def _step(self, process, send=None, throw=None):
+        """Advance ``process`` by one yield."""
+        if process.done or not process.alive:
+            return
+        process._pending_wait = None
+        process._pending_timer = None
+        process._pending_use = None
+        try:
+            if throw is not None:
+                item = process.generator.throw(throw)
+            else:
+                item = process.generator.send(send)
+        except StopIteration as stop:
+            process._finish(getattr(stop, "value", None))
+            return
+        except (Interrupted, ProcessKilled):
+            process._finish(None, killed=True)
+            return
+        except Exception as exc:
+            process.error = exc
+            process._finish(None, killed=self.swallow_process_errors)
+            return
+        self._dispatch_yield(process, item)
+
+    def _dispatch_yield(self, process, item):
+        if isinstance(item, (int, float)):
+            if item < 0:
+                self._step(process, throw=SimulationError("negative sleep %r" % item))
+                return
+            process._pending_timer = self.schedule(
+                item, self._step, (process, None, None)
+            )
+        elif isinstance(item, SimEvent):
+            callback = _Resumer(self, process)
+            process._pending_wait = (item, callback)
+            item.add_waiter(callback)
+        elif isinstance(item, Use):
+            process._pending_use = item
+            item.resource._enqueue(process, item)
+        elif isinstance(item, Process):
+            callback = _Resumer(self, process)
+            process._pending_wait = (item.completion, callback)
+            item.completion.add_waiter(callback)
+        else:
+            self._step(
+                process,
+                throw=SimulationError("process yielded unsupported %r" % (item,)),
+            )
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until=None, max_events=None):
+        """Run until the queue drains, ``until`` is reached, or event cap hit.
+
+        Returns the simulated time at which the run stopped.
+        """
+        executed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            event = self.queue.pop()
+            if event is None:
+                break
+            if event.time < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = event.time
+            for hook in self._trace_hooks:
+                hook(self.now, event)
+            event.callback(*event.args)
+            executed += 1
+        return self.now
+
+    def add_trace_hook(self, hook):
+        """Register ``hook(now, scheduled_event)`` called before each event."""
+        self._trace_hooks.append(hook)
+
+    # -- randomness ----------------------------------------------------------
+
+    def rng(self, stream_name):
+        """A named deterministic RNG stream derived from the master seed."""
+        stream = self._rng_streams.get(stream_name)
+        if stream is None:
+            stream = RngStream(self.seed, stream_name)
+            self._rng_streams[stream_name] = stream
+        return stream
+
+    def __repr__(self):
+        return "Simulator(now=%g, pending=%d)" % (self.now, len(self.queue))
+
+
+class _Resumer:
+    """A hashable callback resuming a process with the event value."""
+
+    __slots__ = ("sim", "process")
+
+    def __init__(self, sim, process):
+        self.sim = sim
+        self.process = process
+
+    def __call__(self, value):
+        self.sim._step(self.process, send=value)
+
+    def __eq__(self, other):
+        return isinstance(other, _Resumer) and other.process is self.process
+
+    def __hash__(self):
+        return hash(id(self.process))

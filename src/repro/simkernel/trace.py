@@ -1,0 +1,135 @@
+"""Simulation tracing: bounded, filterable event and message logs.
+
+Debugging a distributed run means answering "what happened, in order?".
+:class:`SimulationTracer` captures a bounded trace of kernel events plus
+any domain events components record; :func:`trace_transport` additionally
+logs every network message.  Traces render as aligned timelines and can be
+filtered by time window and kind.
+"""
+
+import collections
+
+
+class TraceRecord:
+    """One trace entry."""
+
+    __slots__ = ("time", "kind", "detail")
+
+    def __init__(self, time, kind, detail):
+        self.time = time
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self):
+        return "TraceRecord(t=%.3f %s: %s)" % (self.time, self.kind, self.detail)
+
+
+class SimulationTracer:
+    """A bounded in-memory trace.
+
+    Args:
+        sim: simulator to attach to (kernel events get recorded when
+            ``capture_kernel`` is set).
+        capacity: ring-buffer size; oldest entries are dropped.
+        capture_kernel: record every scheduled-event execution (verbose;
+            off by default -- domain events are usually what you want).
+        kinds: when given, only these kinds are recorded.
+    """
+
+    def __init__(self, sim, capacity=10000, capture_kernel=False, kinds=None):
+        self.sim = sim
+        self.records = collections.deque(maxlen=capacity)
+        self.kinds_filter = frozenset(kinds) if kinds is not None else None
+        self.dropped = 0
+        if capture_kernel:
+            sim.add_trace_hook(self._on_kernel_event)
+
+    def _on_kernel_event(self, now, event):
+        self.record("kernel", callback=getattr(
+            event.callback, "__qualname__", repr(event.callback)))
+
+    def record(self, kind, **detail):
+        """Record a domain event at the current simulated time."""
+        if self.kinds_filter is not None and kind not in self.kinds_filter:
+            self.dropped += 1
+            return None
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        entry = TraceRecord(self.sim.now, kind, detail)
+        self.records.append(entry)
+        return entry
+
+    def __len__(self):
+        return len(self.records)
+
+    def entries(self, kind=None, start=None, end=None):
+        """Filtered view of the trace."""
+        selected = []
+        for entry in self.records:
+            if kind is not None and entry.kind != kind:
+                continue
+            if start is not None and entry.time < start:
+                continue
+            if end is not None and entry.time > end:
+                continue
+            selected.append(entry)
+        return selected
+
+    def counts_by_kind(self):
+        counter = collections.Counter(entry.kind for entry in self.records)
+        return dict(counter)
+
+    def render(self, kind=None, start=None, end=None, limit=None):
+        """An aligned, human-readable timeline."""
+        entries = self.entries(kind, start, end)
+        if limit is not None:
+            entries = entries[-limit:]
+        lines = []
+        for entry in entries:
+            detail = " ".join(
+                "%s=%s" % (key, value)
+                for key, value in sorted(entry.detail.items())
+            )
+            lines.append("%10.3f  %-16s %s" % (entry.time, entry.kind, detail))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "SimulationTracer(entries=%d, dropped=%d)" % (
+            len(self.records), self.dropped)
+
+
+def trace_transport(transport, tracer):
+    """Log every message the transport delivers or drops.
+
+    Wraps the transport's internal bookkeeping non-invasively: returns the
+    transport for chaining.  Each delivery records kind ``"message"``;
+    drops record kind ``"message-drop"``.
+    """
+    original_deliver = transport._deliver
+    original_drop = transport._drop
+
+    def traced_deliver(message, done):
+        yield from original_deliver(message, done)
+        # runs synchronously once the delivery process finishes; dropped
+        # messages never get a delivered_at and are recorded by the drop path
+        if message.delivered_at is not None:
+            tracer.record(
+                "message",
+                src=str(message.sender), dst=str(message.dest),
+                protocol=message.protocol,
+                size=round(message.size_units, 3),
+                latency=round(message.latency, 6)
+                if message.latency is not None else None,
+            )
+
+    def traced_drop(message, done, reason):
+        tracer.record(
+            "message-drop",
+            src=str(message.sender), dst=str(message.dest),
+            protocol=message.protocol, reason=reason,
+        )
+        original_drop(message, done, reason)
+
+    transport._deliver = traced_deliver
+    transport._drop = traced_drop
+    return transport

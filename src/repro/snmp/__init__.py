@@ -1,0 +1,46 @@
+"""SNMP-flavoured management-protocol substrate.
+
+The paper's collector agents have protocol "interfaces" -- chiefly SNMP --
+through which they extract managed-object values from network devices.
+This package provides the whole stack in simulation:
+
+* :mod:`oids <repro.snmp.oids>` -- object identifier algebra;
+* :mod:`mib <repro.snmp.mib>` -- MIB trees with scalar and table objects,
+  plus the standard object set the workloads poll (CPU, memory, disk,
+  process table, interface counters);
+* :mod:`device <repro.snmp.device>` -- managed devices (server / router /
+  switch profiles) with stochastic metric dynamics and fault injection;
+* :mod:`engine <repro.snmp.engine>` -- the device-side engine answering
+  GET / GETNEXT / GETBULK / SET over the simulated network;
+* :mod:`manager <repro.snmp.manager>` -- the manager-side client used by
+  collector agents;
+* :mod:`traps <repro.snmp.traps>` -- asynchronous trap channel.
+"""
+
+from repro.snmp.oids import OID
+from repro.snmp.mib import MibObject, MibTree, StandardMib, std
+from repro.snmp.device import DeviceProfile, ManagedDevice, PROFILES
+from repro.snmp.engine import PduType, SnmpEngine, SnmpError, SnmpRequest, SnmpResponse, VarBind
+from repro.snmp.manager import SnmpClient, SnmpTimeout
+from repro.snmp.traps import Trap, TrapSink
+
+__all__ = [
+    "DeviceProfile",
+    "ManagedDevice",
+    "MibObject",
+    "MibTree",
+    "OID",
+    "PROFILES",
+    "PduType",
+    "SnmpClient",
+    "SnmpEngine",
+    "SnmpError",
+    "SnmpRequest",
+    "SnmpResponse",
+    "SnmpTimeout",
+    "StandardMib",
+    "Trap",
+    "TrapSink",
+    "VarBind",
+    "std",
+]

@@ -1,0 +1,82 @@
+"""Asynchronous SNMP trap channel.
+
+Devices push :class:`Trap` notifications toward a :class:`TrapSink` bound
+on a management host; subscribers (collector agents, the interface grid)
+receive them via callbacks.  Traps complement polling: the stock rule base
+treats a trap as a high-priority fact.
+"""
+
+import itertools
+
+from repro.network.transport import Message
+
+
+class Trap:
+    """An asynchronous device notification."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, device_name, kind, detail=None, severity="warning"):
+        self.id = next(Trap._ids)
+        self.device_name = device_name
+        self.kind = kind
+        self.detail = detail if detail is not None else {}
+        self.severity = severity
+        self.raised_at = None
+
+    def __repr__(self):
+        return "Trap(#%d %s/%s, %s)" % (
+            self.id, self.device_name, self.kind, self.severity,
+        )
+
+
+class TrapSink:
+    """Receives traps on a management host and fans them out.
+
+    Args:
+        host: management host the sink binds on.
+        transport: the network transport.
+        port: bound port name.
+    """
+
+    PORT = "snmp-trap"
+    TRAP_SIZE_UNITS = 0.3
+
+    def __init__(self, host, transport, port=PORT):
+        self.host = host
+        self.transport = transport
+        self.sim = host.sim
+        self.port = port
+        self.address = transport.address(host.name, port)
+        self.received = []
+        self._subscribers = []
+        host.bind(port, self._on_message)
+
+    def subscribe(self, callback):
+        """Register ``callback(trap)`` for every future trap."""
+        self._subscribers.append(callback)
+
+    def _on_message(self, message):
+        trap = message.payload
+        if not isinstance(trap, Trap):
+            return
+        trap.raised_at = self.sim.now
+        self.received.append(trap)
+        for callback in self._subscribers:
+            callback(trap)
+
+    def emit_from(self, device, kind, detail=None, severity="warning"):
+        """Send a trap from ``device`` to this sink (fire-and-forget)."""
+        trap = Trap(device.name, kind, detail, severity)
+        message = Message(
+            sender=self.transport.address(device.host.name, "snmp"),
+            dest=self.address,
+            payload=trap,
+            size_units=self.TRAP_SIZE_UNITS,
+            protocol="snmp-trap",
+        )
+        self.transport.send(message)
+        return trap
+
+    def __repr__(self):
+        return "TrapSink(%s, received=%d)" % (self.host.name, len(self.received))

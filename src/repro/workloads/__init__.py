@@ -1,0 +1,27 @@
+"""Workload generation, scenarios and fault injection for experiments."""
+
+from repro.workloads.generator import (
+    RequestMix,
+    WorkloadGenerator,
+    goals_for_mix,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    crossover_scenarios,
+    paper_scenario,
+    scaling_scenario,
+)
+from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "RequestMix",
+    "Scenario",
+    "WorkloadGenerator",
+    "apply_fault_plan",
+    "crossover_scenarios",
+    "goals_for_mix",
+    "paper_scenario",
+    "scaling_scenario",
+]

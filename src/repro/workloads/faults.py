@@ -1,0 +1,97 @@
+"""Fault-injection plans.
+
+Two kinds of faults are injected in experiments:
+
+* **device faults** -- a managed device's metrics enter a degraded regime
+  (CPU runaway, memory leak, disk filling, interface down); the analysis
+  rules are expected to *detect* these.
+* **infrastructure faults** -- a management container is killed mid-run;
+  the processor-grid root is expected to *tolerate* these by re-dispatching
+  jobs (bench X4).
+"""
+
+
+class FaultEvent:
+    """One scheduled fault.
+
+    Args:
+        at: simulated time to fire.
+        kind: device fault kind ("cpu_runaway", "memory_leak",
+            "disk_filling", "interface_down") or "container_down".
+        target: device name or container name.
+        interface: interface index for "interface_down".
+        clear_after: optional duration after which the fault self-clears
+            (device faults only).
+    """
+
+    DEVICE_KINDS = ("cpu_runaway", "memory_leak", "disk_filling",
+                    "interface_down")
+    CONTAINER_DOWN = "container_down"
+
+    def __init__(self, at, kind, target, interface=None, clear_after=None):
+        if kind not in self.DEVICE_KINDS and kind != self.CONTAINER_DOWN:
+            raise ValueError("unknown fault kind %r" % kind)
+        if at < 0:
+            raise ValueError("fault time must be >= 0")
+        self.at = at
+        self.kind = kind
+        self.target = target
+        self.interface = interface
+        self.clear_after = clear_after
+
+    def __repr__(self):
+        return "FaultEvent(t=%g, %s -> %s)" % (self.at, self.kind, self.target)
+
+
+class FaultPlan:
+    """A list of fault events applied to a running system."""
+
+    def __init__(self, events=()):
+        self.events = sorted(events, key=lambda event: event.at)
+
+    def add(self, event):
+        self.events.append(event)
+        self.events.sort(key=lambda item: item.at)
+        return event
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+def apply_fault_plan(system, plan):
+    """Schedule every fault in ``plan`` on a built grid system.
+
+    Device faults resolve against ``system.devices``; container faults
+    against ``system.platform.containers``.  Unknown targets raise
+    immediately (misconfigured experiments should fail loudly).
+    """
+    for event in plan:
+        if event.kind == FaultEvent.CONTAINER_DOWN:
+            if event.target not in system.platform.containers:
+                raise KeyError("unknown container %r" % event.target)
+            system.sim.schedule(
+                event.at, _kill_container, (system, event.target),
+            )
+        else:
+            device = system.devices.get(event.target)
+            if device is None:
+                raise KeyError("unknown device %r" % event.target)
+            system.sim.schedule(
+                event.at, device.inject_fault, (event.kind, event.interface),
+            )
+            if event.clear_after is not None:
+                system.sim.schedule(
+                    event.at + event.clear_after,
+                    device.clear_fault,
+                    (event.kind, event.interface),
+                )
+
+
+def _kill_container(system, container_name):
+    container = system.platform.containers.get(container_name)
+    if container is not None:
+        container.shutdown()
+        container.host.fail()

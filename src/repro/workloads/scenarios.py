@@ -1,0 +1,83 @@
+"""Named experiment scenarios.
+
+A :class:`Scenario` bundles a device population, a request mix and pacing
+parameters; the experiment runners in :mod:`repro.evaluation.experiments`
+and the benches execute scenarios against architecture specs.
+"""
+
+from repro.core.system import DeviceSpec
+from repro.workloads.generator import RequestMix
+
+
+class Scenario:
+    """A reproducible experiment workload."""
+
+    def __init__(self, name, devices, mix, interval=1.0, stagger=0.1,
+                 description=""):
+        if not devices:
+            raise ValueError("scenario needs at least one device")
+        self.name = name
+        self.devices = list(devices)
+        self.mix = mix
+        self.interval = interval
+        self.stagger = stagger
+        self.description = description
+
+    @property
+    def total_requests(self):
+        return self.mix.total
+
+    def device_names(self):
+        return [device.name for device in self.devices]
+
+    def __repr__(self):
+        return "Scenario(%r, devices=%d, requests=%d)" % (
+            self.name, len(self.devices), self.total_requests,
+        )
+
+
+def _device_population(count, site_count=1):
+    """A mixed device population spread over sites."""
+    profiles = ("server", "router", "server", "switch")
+    devices = []
+    for index in range(count):
+        site = "site%d" % (index % site_count + 1)
+        devices.append(DeviceSpec(
+            "dev%d" % (index + 1), profiles[index % len(profiles)], site,
+        ))
+    return devices
+
+
+def paper_scenario(seed=0):
+    """Section 4.1's evaluation: 3 devices, 10 requests of each type."""
+    return Scenario(
+        "paper-figure6",
+        devices=_device_population(3),
+        mix=RequestMix(10, 10, 10),
+        description="10 requests of each type over 3 devices (Figure 6)",
+    )
+
+
+def scaling_scenario(device_count, requests_per_type, site_count=1):
+    """Parametric scenario for the scalability sweep (X3)."""
+    return Scenario(
+        "scale-d%d-r%d" % (device_count, requests_per_type),
+        devices=_device_population(device_count, site_count),
+        mix=RequestMix(requests_per_type, requests_per_type, requests_per_type),
+        description="%d devices, %d requests/type" % (
+            device_count, requests_per_type,
+        ),
+    )
+
+
+def crossover_scenarios(points=(1, 2, 5, 10, 20, 50), device_count=3):
+    """Scenarios for the crossover sweep (X1): growing request volume."""
+    return [
+        Scenario(
+            "crossover-r%d" % requests,
+            devices=_device_population(device_count),
+            mix=RequestMix(requests, requests, requests),
+            description="%d requests/type" % requests,
+        )
+        for requests in points
+    ]

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.agents.platform import AgentPlatform
+from repro.network.topology import Network
+from repro.network.transport import Transport
+from repro.simkernel.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def network(sim):
+    return Network(sim)
+
+
+@pytest.fixture
+def transport(network):
+    return Transport(network)
+
+
+@pytest.fixture
+def platform(sim, network, transport):
+    return AgentPlatform(sim, network, transport)
+
+
+@pytest.fixture
+def two_hosts(network):
+    """Two hosts on one site, default capacities."""
+    return (
+        network.add_host("alpha", "site1"),
+        network.add_host("beta", "site1"),
+    )
+
+
+def run_process(sim, generator, until=1000.0):
+    """Spawn a process and run the simulation; returns the process."""
+    process = sim.spawn(generator)
+    sim.run(until=until)
+    return process

@@ -1,0 +1,159 @@
+"""Unit tests for ACL messages, templates and ontologies."""
+
+import pytest
+
+from repro.agents.acl import (
+    ACLMessage,
+    AgentId,
+    MessageTemplate,
+    Performative,
+)
+from repro.agents import ontology
+
+
+class TestAgentId:
+    def test_equality_with_strings(self):
+        assert AgentId("a") == AgentId("a")
+        assert AgentId("a") == "a"
+        assert AgentId("a") != AgentId("b")
+
+    def test_immutable_and_hashable(self):
+        aid = AgentId("a")
+        with pytest.raises(AttributeError):
+            aid.name = "b"
+        assert hash(AgentId("a")) == hash(AgentId("a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AgentId("")
+
+
+class TestACLMessage:
+    def test_basic_slots(self):
+        message = ACLMessage(
+            Performative.INFORM, "a", "b", content={"x": 1},
+            ontology="data-ready", protocol="p",
+        )
+        assert message.sender == "a"
+        assert message.receiver == "b"
+        assert message.conversation_id.startswith("conv-")
+
+    def test_unknown_performative_rejected(self):
+        with pytest.raises(ValueError):
+            ACLMessage("gossip", "a", "b")
+
+    def test_reply_swaps_endpoints_and_keeps_conversation(self):
+        message = ACLMessage(
+            Performative.REQUEST, "a", "b", reply_with="rw-1",
+            conversation_id="c-9", ontology="o",
+        )
+        reply = message.make_reply(Performative.AGREE, content=5)
+        assert reply.sender == "b"
+        assert reply.receiver == "a"
+        assert reply.conversation_id == "c-9"
+        assert reply.in_reply_to == "rw-1"
+        assert reply.ontology == "o"
+
+    def test_size_defaults_and_content_override(self):
+        small = ACLMessage(Performative.INFORM, "a", "b")
+        assert small.size_units == pytest.approx(0.3)
+
+        class Sized:
+            size_units = 7.5
+
+        sized = ACLMessage(Performative.INFORM, "a", "b", content=Sized())
+        assert sized.size_units == 7.5
+        explicit = ACLMessage(Performative.INFORM, "a", "b", size_units=2.0)
+        assert explicit.size_units == 2.0
+
+
+class TestMessageTemplate:
+    def _message(self, **kwargs):
+        defaults = dict(
+            performative=Performative.INFORM, sender="s", receiver="r",
+        )
+        defaults.update(kwargs)
+        performative = defaults.pop("performative")
+        sender = defaults.pop("sender")
+        receiver = defaults.pop("receiver")
+        return ACLMessage(performative, sender, receiver, **defaults)
+
+    def test_empty_template_matches_everything(self):
+        assert MessageTemplate().match(self._message())
+
+    def test_each_slot_filters(self):
+        message = self._message(
+            ontology="o", protocol="p", conversation_id="c",
+        )
+        assert MessageTemplate(performative=Performative.INFORM).match(message)
+        assert not MessageTemplate(performative=Performative.CFP).match(message)
+        assert MessageTemplate(sender="s").match(message)
+        assert not MessageTemplate(sender="other").match(message)
+        assert MessageTemplate(ontology="o").match(message)
+        assert not MessageTemplate(ontology="x").match(message)
+        assert MessageTemplate(protocol="p").match(message)
+        assert MessageTemplate(conversation_id="c").match(message)
+        assert not MessageTemplate(conversation_id="z").match(message)
+
+    def test_in_reply_to_matching(self):
+        message = self._message(in_reply_to="q1")
+        assert MessageTemplate(in_reply_to="q1").match(message)
+        assert not MessageTemplate(in_reply_to="q2").match(message)
+
+    def test_conjunction(self):
+        message = self._message(ontology="o")
+        template = MessageTemplate(
+            performative=Performative.INFORM, ontology="o",
+        )
+        assert template.match(message)
+        template = MessageTemplate(
+            performative=Performative.INFORM, ontology="wrong",
+        )
+        assert not template.match(message)
+
+
+class TestOntology:
+    def test_validate_accepts_conforming(self):
+        content = ontology.DATA_READY.make(
+            dataset="ds-1", record_count=3, clusters=["a"],
+            storage_host="h1",
+        )
+        assert content["dataset"] == "ds-1"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ontology.OntologyError):
+            ontology.DATA_READY.validate({"dataset": "x"})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ontology.OntologyError):
+            ontology.DATA_READY.make(
+                dataset="d", record_count="three", clusters=[],
+                storage_host="h",
+            )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ontology.OntologyError):
+            ontology.JOB_CFP.make(
+                job_id="j", cluster="c", record_count=1,
+                required_service="analysis", surprise=True,
+            )
+
+    def test_optional_fields_may_be_absent(self):
+        content = ontology.ANALYSIS_JOB.make(
+            job_id="j", dataset="d", cluster="c", record_count=1,
+            level=1, storage_host="h",
+        )
+        assert "problems" not in content
+
+    def test_non_dict_content_rejected(self):
+        with pytest.raises(ontology.OntologyError):
+            ontology.DATA_READY.validate("a string")
+
+    def test_lookup_registry(self):
+        assert ontology.lookup("data-ready") is ontology.DATA_READY
+        with pytest.raises(KeyError):
+            ontology.lookup("astrology")
+
+    def test_unknown_optional_declaration_rejected(self):
+        with pytest.raises(ValueError):
+            ontology.Ontology("bad", fields={"a": str}, optional=("b",))

@@ -1,0 +1,227 @@
+"""Unit tests for the directory facilitator and agent mobility."""
+
+import pytest
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.agent import Agent
+from repro.agents.behaviours import CyclicBehaviour
+from repro.agents.directory import DirectoryFacilitator, ServiceDescription
+from repro.agents.mobility import MigrationError, MobilityService
+from repro.agents.platform import AgentPlatform
+
+
+class TestDirectory:
+    @pytest.fixture
+    def directory(self, sim):
+        return DirectoryFacilitator(sim)
+
+    def test_register_and_search_services(self, directory):
+        directory.register(ServiceDescription("a1", "analysis", {"level": 2}))
+        directory.register(ServiceDescription("a2", "analysis"))
+        directory.register(ServiceDescription("s1", "storage"))
+        found = directory.search("analysis")
+        assert [d.agent_name for d in found] == ["a1", "a2"]
+
+    def test_search_with_predicate(self, directory):
+        directory.register(ServiceDescription("a1", "analysis", {"level": 2}))
+        directory.register(ServiceDescription("a2", "analysis", {"level": 3}))
+        found = directory.search(
+            "analysis", predicate=lambda d: d.properties.get("level") == 3)
+        assert [d.agent_name for d in found] == ["a2"]
+
+    def test_deregister_by_type_and_all(self, directory):
+        directory.register(ServiceDescription("a1", "analysis"))
+        directory.register(ServiceDescription("a1", "storage"))
+        directory.deregister("a1", "analysis")
+        assert directory.search("analysis") == []
+        assert len(directory.services_of("a1")) == 1
+        directory.deregister("a1")
+        assert directory.services_of("a1") == []
+
+    def test_empty_service_type_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceDescription("a", "")
+
+    def test_container_profiles_filtered(self, sim, network, transport):
+        platform = AgentPlatform(sim, network, transport)
+        host_a = network.add_host("ha", "site1")
+        host_b = network.add_host("hb", "site1")
+        container_a = platform.create_container(
+            "ca", host_a, services=("analysis",), knowledge=("traffic",))
+        container_b = platform.create_container(
+            "cb", host_b, services=("storage",))
+        directory = DirectoryFacilitator(sim)
+        directory.register_container_profile(container_a.profile())
+        directory.register_container_profile(container_b.profile())
+        assert len(directory) == 2
+        analysis = directory.container_profiles(service="analysis")
+        assert [p.container_name for p in analysis] == ["ca"]
+        knowing = directory.container_profiles(knowledge="traffic")
+        assert {p.container_name for p in knowing} == {"ca", "cb"}
+        directory.remove_container_profile("ca")
+        assert directory.container_profile("ca") is None
+
+    def test_reregistration_updates(self, sim, network, transport):
+        platform = AgentPlatform(sim, network, transport)
+        host = network.add_host("h", "site1")
+        container = platform.create_container("c", host)
+        directory = DirectoryFacilitator(sim)
+        directory.register_container_profile(container.profile())
+        container.busy_agents = 3
+        directory.register_container_profile(container.profile())
+        assert len(directory) == 1
+        assert directory.container_profile("c").busy_agents == 3
+
+
+class _StatefulAgent(Agent):
+    """Carries custom state across migrations and counts setups."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.counter = 0
+        self.setups = 0
+
+    def setup(self):
+        self.setups += 1
+
+    def checkpoint(self):
+        state = super().checkpoint()
+        state["counter"] = self.counter
+        return state
+
+    def restore(self, state):
+        super().restore(state)
+        self.counter = state["counter"]
+
+
+class TestMobility:
+    @pytest.fixture
+    def world(self, sim, network, transport):
+        platform = AgentPlatform(sim, network, transport)
+        host_a = network.add_host("ha", "site1")
+        host_b = network.add_host("hb", "site2")
+        container_a = platform.create_container("ca", host_a)
+        container_b = platform.create_container("cb", host_b)
+        return platform, container_a, container_b
+
+    def test_migration_moves_state_and_restarts(self, sim, world):
+        platform, container_a, container_b = world
+        agent = _StatefulAgent("mobile")
+        container_a.deploy(agent)
+        agent.counter = 41
+        mobility = MobilityService(platform)
+
+        def migrate():
+            yield from mobility.migrate(agent, container_b)
+            return "done"
+
+        process = sim.spawn(migrate())
+        sim.run(until=60)
+        assert process.result == "done"
+        assert agent.container is container_b
+        assert agent.counter == 41
+        assert agent.setups == 2
+        assert mobility.migrations == 1
+
+    def test_migration_charges_cpu_and_network(self, sim, world):
+        platform, container_a, container_b = world
+        agent = _StatefulAgent("mobile")
+        container_a.deploy(agent)
+        mobility = MobilityService(platform, serialize_cpu_per_unit=1.0)
+
+        def migrate():
+            yield from mobility.migrate(agent, container_b)
+
+        sim.spawn(migrate())
+        sim.run(until=60)
+        assert container_a.host.cpu.units_by_label["agent-migration"] > 0
+        assert container_b.host.cpu.units_by_label["agent-migration"] > 0
+        assert container_a.host.nic.total_units > 0
+
+    def test_pending_mail_travels(self, sim, world):
+        platform, container_a, container_b = world
+        agent = _StatefulAgent("mobile")
+        container_a.deploy(agent)
+        agent.deliver(ACLMessage(Performative.INFORM, "x", "mobile", content=9))
+        mobility = MobilityService(platform)
+
+        def migrate():
+            yield from mobility.migrate(agent, container_b)
+
+        sim.spawn(migrate())
+        sim.run(until=60)
+        assert agent.mailbox_size == 1
+        assert agent.receive_nowait().content == 9
+
+    def test_migrating_to_same_container_is_noop(self, sim, world):
+        platform, container_a, _ = world
+        agent = _StatefulAgent("mobile")
+        container_a.deploy(agent)
+        mobility = MobilityService(platform)
+
+        def migrate():
+            yield from mobility.migrate(agent, container_a)
+
+        sim.spawn(migrate())
+        sim.run(until=60)
+        assert agent.setups == 1
+        assert mobility.migrations == 0
+
+    def test_migration_to_dead_container_rejected(self, sim, world):
+        platform, container_a, container_b = world
+        agent = _StatefulAgent("mobile")
+        container_a.deploy(agent)
+        container_b.shutdown()
+        mobility = MobilityService(platform)
+
+        def migrate():
+            try:
+                yield from mobility.migrate(agent, container_b)
+            except MigrationError:
+                return "refused"
+
+        process = sim.spawn(migrate())
+        sim.run(until=60)
+        assert process.result == "refused"
+        assert agent.container is container_a
+
+    def test_undeployed_agent_rejected(self, sim, world):
+        platform, _, container_b = world
+        mobility = MobilityService(platform)
+        with pytest.raises(MigrationError):
+            # migrate() raises before the first yield runs
+            generator = mobility.migrate(_StatefulAgent("ghost"), container_b)
+            next(generator)
+
+    def test_messages_reach_agent_after_migration(self, sim, world):
+        platform, container_a, container_b = world
+        received = []
+
+        class Listener(_StatefulAgent):
+            def setup(self):
+                super().setup()
+                agent = self
+
+                class Collect(CyclicBehaviour):
+                    def step(self):
+                        message = yield from self.receive()
+                        if message is not None:
+                            received.append(message.content)
+
+                self.add_behaviour(Collect())
+
+        listener = Listener("mobile")
+        sender = Agent("sender")
+        container_a.deploy(listener)
+        container_b.deploy(sender)
+        mobility = MobilityService(platform)
+
+        def script():
+            yield from mobility.migrate(listener, container_b)
+            sender.send(ACLMessage(
+                Performative.INFORM, "sender", "mobile", content="hello"))
+            yield 1.0
+
+        sim.spawn(script())
+        sim.run(until=60)
+        assert "hello" in received

@@ -1,0 +1,169 @@
+"""Direct unit tests for the contract-net initiator/responder pair."""
+
+import pytest
+
+from repro.agents.acl import ACLMessage, MessageTemplate, Performative
+from repro.agents.agent import Agent
+from repro.agents.behaviours import CyclicBehaviour
+from repro.agents.platform import AgentPlatform
+from repro.core.loadbalance import PlacementJob
+from repro.core.negotiation import (
+    CONTRACT_NET,
+    ContractNetInitiator,
+    ContractNetResponder,
+)
+
+
+class Bidder(Agent):
+    """An analyzer stand-in that answers CFPs via the stock responder."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.responder = None
+        self.verdicts = []  # ACCEPT/REJECT performatives received
+
+    def setup(self):
+        self.responder = ContractNetResponder(self)
+        bidder = self
+
+        class Answer(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    protocol=CONTRACT_NET))
+                if message is None:
+                    return
+                if message.performative == Performative.CFP:
+                    bidder.responder.bid(message)
+                else:
+                    bidder.verdicts.append(message.performative)
+
+        self.add_behaviour(Answer())
+
+
+class Mute(Agent):
+    """Never answers anything (a dead/ignoring candidate)."""
+
+
+@pytest.fixture
+def arena(sim, network, transport):
+    platform = AgentPlatform(sim, network, transport)
+    root_host = network.add_host("root-host", "site1")
+    root_container = platform.create_container("root-c", root_host)
+    initiator_agent = Agent("root")
+    root_container.deploy(initiator_agent)
+    return sim, network, platform, initiator_agent
+
+
+def _add_bidder(network, platform, name, cpu_capacity=10.0, knowledge=(),
+                queue_fill=0.0):
+    host = network.add_host(name + "-host", "site1",
+                            cpu_capacity=cpu_capacity)
+    container = platform.create_container(
+        name + "-c", host, services=("analysis",), knowledge=knowledge)
+    bidder = Bidder(name)
+    container.deploy(bidder)
+    if queue_fill:
+        def hog():
+            yield host.cpu.use(queue_fill)
+
+        host.sim.spawn(hog())
+        host.sim.spawn(hog())
+    return bidder, container
+
+
+def _negotiate(sim, initiator_agent, candidates, job=None, deadline=2.0):
+    if job is None:
+        job = PlacementJob("j1", "performance", 5, 100.0)
+    initiator = ContractNetInitiator(initiator_agent, deadline=deadline)
+
+    def run():
+        outcome = yield from initiator.negotiate(job, candidates)
+        return outcome
+
+    process = sim.spawn(run())
+    sim.run(until=100)
+    return process.result
+
+
+def test_fastest_host_wins(arena):
+    sim, network, platform, root = arena
+    _add_bidder(network, platform, "slow", cpu_capacity=5.0)
+    _add_bidder(network, platform, "fast", cpu_capacity=50.0)
+    outcome = _negotiate(sim, root, ["slow", "fast"])
+    assert outcome.succeeded
+    assert outcome.winner == "fast-c"
+    assert set(outcome.bids) == {"slow-c", "fast-c"}
+
+    # losers got REJECT, the winner ACCEPT
+    sim.run(until=110)
+    assert Performative.REJECT_PROPOSAL in platform.agent("slow").verdicts
+    assert Performative.ACCEPT_PROPOSAL in platform.agent("fast").verdicts
+
+
+def test_backlogged_host_loses(arena):
+    sim, network, platform, root = arena
+    _add_bidder(network, platform, "busy", cpu_capacity=10.0,
+                queue_fill=500.0)
+    _add_bidder(network, platform, "idle", cpu_capacity=10.0)
+    outcome = _negotiate(sim, root, ["busy", "idle"])
+    assert outcome.winner == "idle-c"
+
+
+def test_specialist_refuses_foreign_cluster(arena):
+    sim, network, platform, root = arena
+    _add_bidder(network, platform, "storage-only",
+                knowledge=("storage",))
+    outcome = _negotiate(
+        sim, root, ["storage-only"],
+        job=PlacementJob("j1", "performance", 5, 100.0))
+    assert not outcome.succeeded
+    assert outcome.winner is None
+    assert outcome.refusals == ["storage-only"]
+
+
+def test_mute_candidate_times_out(arena):
+    sim, network, platform, root = arena
+    host = network.add_host("mute-host", "site1")
+    container = platform.create_container("mute-c", host)
+    container.deploy(Mute("mute"))
+    _add_bidder(network, platform, "alive")
+    outcome = _negotiate(sim, root, ["mute", "alive"], deadline=3.0)
+    assert outcome.winner == "alive-c"
+    assert "mute" not in outcome.bids
+
+
+def test_all_mute_yields_no_winner(arena):
+    sim, network, platform, root = arena
+    host = network.add_host("mute-host", "site1")
+    container = platform.create_container("mute-c", host)
+    container.deploy(Mute("mute"))
+    outcome = _negotiate(sim, root, ["mute"], deadline=2.0)
+    assert not outcome.succeeded
+    assert outcome.bids == {}
+
+
+def test_tie_breaks_deterministically_by_name(arena):
+    sim, network, platform, root = arena
+    _add_bidder(network, platform, "bbb")
+    _add_bidder(network, platform, "aaa")
+    outcome = _negotiate(sim, root, ["bbb", "aaa"])
+    assert outcome.winner == "aaa-c"
+
+
+def test_rounds_are_isolated_conversations(arena):
+    sim, network, platform, root = arena
+    _add_bidder(network, platform, "only")
+    initiator = ContractNetInitiator(root, deadline=2.0)
+
+    def run():
+        first = yield from initiator.negotiate(
+            PlacementJob("j1", "performance", 5, 100.0), ["only"])
+        second = yield from initiator.negotiate(
+            PlacementJob("j2", "performance", 5, 100.0), ["only"])
+        return first, second
+
+    process = sim.spawn(run())
+    sim.run(until=100)
+    first, second = process.result
+    assert first.winner == second.winner == "only-c"
+    assert initiator.rounds == 2

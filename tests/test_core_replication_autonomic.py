@@ -1,0 +1,192 @@
+"""Tests for storage replication/failover and the autonomic mobility
+balancer (the paper's future-work features)."""
+
+import pytest
+
+from repro.core.autonomic import MobilityBalancer
+from repro.core.replication import ReplicationService, attach_failover
+from repro.core.system import GridManagementSystem, GridTopologySpec, HostSpec
+from repro.baselines.centralized import default_devices
+
+
+def replicated_system(seed=6):
+    spec = GridTopologySpec(
+        devices=default_devices(2),
+        collector_hosts=[HostSpec("col1")],
+        analysis_hosts=[HostSpec("inf1")],
+        storage_host=HostSpec("stor"),
+        interface_host=HostSpec("iface"),
+        seed=seed,
+        dataset_threshold=6,
+    )
+    system = GridManagementSystem(spec)
+    replica_host = system.network.add_host("stor-replica", "site1",
+                                           role="storage")
+    service = ReplicationService(system, replica_host, lag=0.2)
+    return system, service
+
+
+class TestReplication:
+    def test_writes_mirror_to_replica(self):
+        system, service = replicated_system()
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        assert system.run_until_records(6, timeout=2000)
+        system.sim.run(until=system.sim.now + 10)
+        assert service.records_replicated == 6
+        assert service.replica_store.records_stored == \
+            system.store.records_stored == 6
+
+    def test_replication_costs_are_charged(self):
+        system, service = replicated_system()
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        assert system.run_until_records(6, timeout=2000)
+        system.sim.run(until=system.sim.now + 10)
+        replica_host = service.replica_store.host
+        # shipping charged both NICs; storing charged replica CPU+disk
+        assert replica_host.nic.total_units > 0
+        assert replica_host.disk.units_by_label["store"] > 0
+        assert system.store.host.nic.units_by_label["acl"] > 0
+
+    def test_replica_datasets_mirror_clusters(self):
+        system, service = replicated_system()
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        assert system.run_until_records(6, timeout=2000)
+        system.sim.run(until=system.sim.now + 10)
+        primary_datasets = system.store.dataset_ids()
+        for dataset_id in primary_datasets:
+            assert service.replica_store.clusters_of(dataset_id) == \
+                system.store.clusters_of(dataset_id)
+
+    def test_history_usable_on_replica(self):
+        system, service = replicated_system()
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        assert system.run_until_records(6, timeout=2000)
+        system.sim.run(until=system.sim.now + 10)
+        assert service.replica_store.baseline("dev1", "cpu_load") is not None
+
+
+class TestFailover:
+    def test_fetch_fails_over_when_primary_agent_dies(self):
+        system, service = replicated_system()
+        for analyzer in system.analyzers:
+            attach_failover(analyzer, service.failover_storage_host(),
+                            fetch_timeout=10.0)
+        # kill the primary storage agent once collection is underway; the
+        # classifier keeps storing locally (and replicating), but fetches
+        # can only be answered by the replica.
+        def kill_primary_agent():
+            system.storage_container.remove(system.storage_agent)
+
+        system.sim.schedule(1.0, kill_primary_agent)
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        completed = system.run_until_records(6, timeout=3000)
+        assert completed
+        assert sum(a.fetch_failovers for a in system.analyzers) > 0
+        assert service.replica_store.fetches_served > 0
+
+    def test_no_failover_when_primary_healthy(self):
+        system, service = replicated_system()
+        for analyzer in system.analyzers:
+            attach_failover(analyzer, service.failover_storage_host(),
+                            fetch_timeout=10.0)
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        assert system.run_until_records(6, timeout=2000)
+        assert sum(a.fetch_failovers for a in system.analyzers) == 0
+        assert service.replica_store.fetches_served == 0
+
+
+class TestMobilityBalancer:
+    @pytest.fixture
+    def world(self, sim, network, transport, platform):
+        hot_host = network.add_host("hot", "site1", cpu_capacity=2.0)
+        cool_host = network.add_host("cool", "site1", cpu_capacity=20.0)
+        hot = platform.create_container("hot-c", hot_host,
+                                        services=("analysis",))
+        cool = platform.create_container("cool-c", cool_host,
+                                         services=("analysis",))
+        return sim, platform, hot, cool
+
+    def _deploy_analyzer(self, container, name="mobile-analyzer"):
+        from repro.core.processor import AnalyzerAgent
+        from repro.rules.stdlib import standard_knowledge_base
+
+        analyzer = AnalyzerAgent(
+            name, root_name="nobody",
+            knowledge_base=standard_knowledge_base(),
+            register_on_start=False,
+        )
+        container.deploy(analyzer)
+        return analyzer
+
+    def _hog(self, sim, host, units):
+        def burn():
+            yield host.cpu.use(units)
+
+        sim.spawn(burn())
+
+    def test_pressure_reflects_backlog_and_capacity(self, world):
+        sim, platform, hot, cool = world
+        assert MobilityBalancer.pressure(hot) == 0.0
+        for _ in range(3):
+            self._hog(sim, hot.host, 50.0)
+        sim.run(until=0.1)
+        # 2 queued behind 1 in service -> queue_length 2 -> 40 units / 2 cap
+        assert MobilityBalancer.pressure(hot) == pytest.approx(20.0)
+
+    def test_migrates_agent_off_hot_host(self, world):
+        sim, platform, hot, cool = world
+        analyzer = self._deploy_analyzer(hot)
+        balancer = MobilityBalancer(platform, [hot, cool], period=5.0,
+                                    imbalance_threshold=5.0)
+        for _ in range(4):
+            self._hog(sim, hot.host, 100.0)
+        # resources are non-preemptive: the migration's serialization jumps
+        # the queue but still waits out the hog already in service (50 s)
+        sim.run(until=120.0)
+        assert balancer.migrations >= 1
+        assert analyzer.container is cool
+        actions = [decision.action for decision in balancer.decisions]
+        assert "migrate" in actions
+
+    def test_holds_when_balanced(self, world):
+        sim, platform, hot, cool = world
+        self._deploy_analyzer(hot)
+        balancer = MobilityBalancer(platform, [hot, cool], period=5.0,
+                                    imbalance_threshold=5.0)
+        sim.run(until=20.0)
+        assert balancer.migrations == 0
+        assert all(decision.action == "hold"
+                   for decision in balancer.decisions)
+
+    def test_max_migrations_cap(self, world):
+        sim, platform, hot, cool = world
+        self._deploy_analyzer(hot, "a1")
+        self._deploy_analyzer(hot, "a2")
+        balancer = MobilityBalancer(platform, [hot, cool], period=2.0,
+                                    imbalance_threshold=1.0,
+                                    max_migrations=1)
+
+        def keep_hot():
+            while True:
+                yield hot.host.cpu.use(50.0)
+
+        sim.spawn(keep_hot())
+        sim.spawn(keep_hot())
+        sim.spawn(keep_hot())
+        sim.run(until=60.0)
+        assert balancer.migrations == 1
+
+    def test_requires_two_containers(self, world):
+        sim, platform, hot, cool = world
+        with pytest.raises(ValueError):
+            MobilityBalancer(platform, [hot])
+
+    def test_stop_halts_loop(self, world):
+        sim, platform, hot, cool = world
+        self._deploy_analyzer(hot)
+        balancer = MobilityBalancer(platform, [hot, cool], period=2.0)
+        sim.run(until=5.0)
+        decisions_before = len(balancer.decisions)
+        balancer.stop()
+        sim.run(until=30.0)
+        assert len(balancer.decisions) == decisions_before

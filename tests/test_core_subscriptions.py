@@ -1,0 +1,115 @@
+"""Tests for SUBSCRIBE-based alert push from the interface grid."""
+
+import pytest
+
+from repro.agents.acl import ACLMessage, MessageTemplate, Performative
+from repro.agents.agent import Agent
+from repro.agents.behaviours import CyclicBehaviour
+from repro.core.system import GridManagementSystem, GridTopologySpec, HostSpec
+from repro.baselines.centralized import default_devices
+
+
+class UserAgent(Agent):
+    """A network manager's user agent subscribing to alerts."""
+
+    def __init__(self, name, min_severity="major"):
+        super().__init__(name)
+        self.min_severity = min_severity
+        self.alerts_received = []
+        self.confirmations = []
+
+    def setup(self):
+        user = self
+
+        class Listen(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive()
+                if message is None:
+                    return
+                if message.ontology == "alert":
+                    user.alerts_received.append(message.content)
+                elif message.performative == Performative.CONFIRM:
+                    user.confirmations.append(message.content)
+
+        self.add_behaviour(Listen())
+        self.send(ACLMessage(
+            Performative.SUBSCRIBE,
+            sender=self.name,
+            receiver="interface",
+            content={"min_severity": self.min_severity},
+            ontology="alert-subscription",
+        ))
+
+
+@pytest.fixture
+def system():
+    spec = GridTopologySpec(
+        devices=default_devices(2),
+        collector_hosts=[HostSpec("col1")],
+        analysis_hosts=[HostSpec("inf1")],
+        storage_host=HostSpec("stor"),
+        interface_host=HostSpec("iface"),
+        seed=12,
+        dataset_threshold=6,
+    )
+    return GridManagementSystem(spec)
+
+
+def _user_on_new_host(system, name, min_severity="major"):
+    host = system.network.add_host(name + "-host", "site1", role="user")
+    container = system.platform.create_container(name + "-c", host)
+    user = UserAgent(name, min_severity)
+    container.deploy(user)
+    return user
+
+
+def test_subscription_confirmed(system):
+    user = _user_on_new_host(system, "boss")
+    system.run(until=5.0)
+    assert user.confirmations == [{"subscribed": True}]
+    assert system.interface.subscribers == {"boss": "major"}
+
+
+def test_alerts_pushed_to_subscriber(system):
+    user = _user_on_new_host(system, "boss")
+    system.devices["dev1"].inject_fault("cpu_runaway")
+    system.assign_goals(system.make_paper_goals(polls_per_type=2))
+    assert system.run_until_records(6, timeout=2000)
+    assert any(alert["kind"] == "high-cpu" for alert in user.alerts_received)
+    assert all(alert["severity"] in ("major", "critical")
+               for alert in user.alerts_received)
+
+
+def test_severity_filter_respected(system):
+    picky = _user_on_new_host(system, "picky", min_severity="critical")
+    system.devices["dev1"].inject_fault("cpu_runaway")  # major severity
+    system.assign_goals(system.make_paper_goals(polls_per_type=2))
+    assert system.run_until_records(6, timeout=2000)
+    # high-cpu is 'major': below the subscriber's 'critical' threshold
+    assert all(alert["severity"] == "critical"
+               for alert in picky.alerts_received)
+
+
+def test_cancel_stops_pushes(system):
+    user = _user_on_new_host(system, "boss")
+    system.run(until=2.0)
+    user.send(ACLMessage(
+        Performative.SUBSCRIBE, sender=user.name, receiver="interface",
+        content={"cancel": True}, ontology="alert-subscription",
+    ))
+    system.run(until=4.0)
+    assert system.interface.subscribers == {}
+    system.devices["dev1"].inject_fault("cpu_runaway")
+    system.assign_goals(system.make_paper_goals(polls_per_type=2))
+    assert system.run_until_records(6, timeout=2000)
+    assert user.alerts_received == []
+
+
+def test_multiple_subscribers_each_served(system):
+    first = _user_on_new_host(system, "first")
+    second = _user_on_new_host(system, "second")
+    system.devices["dev1"].inject_fault("cpu_runaway")
+    system.assign_goals(system.make_paper_goals(polls_per_type=2))
+    assert system.run_until_records(6, timeout=2000)
+    assert first.alerts_received
+    assert first.alerts_received == second.alerts_received

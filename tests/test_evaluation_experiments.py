@@ -1,0 +1,71 @@
+"""Smoke tests for the shared experiment runners (tiny workloads)."""
+
+import pytest
+
+from repro.evaluation.experiments import (
+    crossover_experiment,
+    loadbalance_ablation,
+    run_all_architectures,
+    run_scenario_on_grid,
+    scalability_experiment,
+    sensitivity_experiment,
+)
+from repro.workloads.scenarios import Scenario, crossover_scenarios
+from repro.workloads.generator import RequestMix
+from repro.core.system import DeviceSpec
+
+
+def tiny_scenario(requests=1):
+    return Scenario(
+        "tiny",
+        devices=[DeviceSpec("dev1", "server"), DeviceSpec("dev2", "router")],
+        mix=RequestMix(requests, requests, requests),
+    )
+
+
+class TestRunners:
+    def test_run_scenario_on_grid(self):
+        result = run_scenario_on_grid(tiny_scenario(), seed=2)
+        assert result.completed
+        assert result.records_analyzed == 3
+        assert result.label == "grid"
+
+    def test_run_all_architectures_same_workload(self):
+        results = run_all_architectures(tiny_scenario(2), seed=2)
+        assert set(results) == {"centralized", "multiagent", "grid"}
+        assert all(result.completed for result in results.values())
+        assert len({result.records_analyzed
+                    for result in results.values()}) == 1
+
+    def test_crossover_rows_shape(self):
+        rows = crossover_experiment(
+            crossover_scenarios(points=(1, 2), device_count=2), seed=2)
+        assert [row["requests_per_type"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row["winner"] in ("centralized", "multiagent", "grid")
+            assert set(row["makespans"]) == \
+                {"centralized", "multiagent", "grid"}
+
+    def test_loadbalance_rows(self):
+        rows = loadbalance_ablation(
+            tiny_scenario(2), ["round-robin", "capacity"], seed=2,
+            analyzer_count=2, analyzer_capacities=(20.0, 5.0),
+            dataset_threshold=2,
+        )
+        assert [row["policy"] for row in rows] == ["round-robin", "capacity"]
+        assert all(row["completed"] for row in rows)
+
+    def test_scalability_points(self):
+        rows = scalability_experiment([
+            {"device_count": 2, "requests_per_type": 1,
+             "collector_count": 1, "analyzer_count": 1},
+        ], seed=2)
+        assert rows[0]["completed"]
+        assert rows[0]["max_cpu_units"] > 0
+
+    def test_sensitivity_orders(self):
+        rows = sensitivity_experiment(tiny_scenario(2), factors=(1.0,),
+                                      seed=2)
+        assert rows[0]["factor"] == 1.0
+        assert set(rows[0]["ordering"]) == \
+            {"centralized", "multiagent", "grid"}

@@ -1,0 +1,91 @@
+"""Tests for golden-result regression checking, including the live
+Figure 6 golden file shipped under benchmarks/golden/."""
+
+import os
+
+import pytest
+
+from repro.evaluation.regression import (
+    GoldenResult,
+    RegressionReport,
+    figure6_metrics,
+)
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "golden")
+
+
+class TestGoldenResult:
+    def test_exact_match_ok(self):
+        golden = GoldenResult("x", {"a": 1.0, "b": "host1", "c": True})
+        report = golden.check({"a": 1.0, "b": "host1", "c": True})
+        assert report.ok
+        assert "OK" in report.describe()
+
+    def test_within_tolerance_ok(self):
+        golden = GoldenResult("x", {"a": 100.0})
+        assert golden.check({"a": 104.0}, rel_tol=0.05).ok
+        assert not golden.check({"a": 110.0}, rel_tol=0.05).ok
+
+    def test_string_metrics_must_match_exactly(self):
+        golden = GoldenResult("x", {"host": "manager"})
+        assert not golden.check({"host": "other"}).ok
+
+    def test_bool_not_treated_as_number(self):
+        golden = GoldenResult("x", {"flag": True})
+        report = golden.check({"flag": False}, rel_tol=10.0)
+        assert not report.ok
+
+    def test_missing_and_unexpected_keys(self):
+        golden = GoldenResult("x", {"a": 1.0})
+        report = golden.check({"b": 2.0})
+        assert not report.ok
+        assert report.missing == ["a"]
+        assert report.unexpected == ["b"]
+
+    def test_near_zero_uses_abs_tol(self):
+        golden = GoldenResult("x", {"a": 0.0})
+        assert golden.check({"a": 1e-12}).ok
+        assert not golden.check({"a": 0.5}).ok
+
+    def test_save_load_round_trip(self, tmp_path):
+        golden = GoldenResult("x", {"a": 1.5, "b": "h"})
+        path = str(tmp_path / "g.json")
+        golden.save(path)
+        loaded = GoldenResult.load(path)
+        assert loaded.name == "x"
+        assert loaded.metrics == golden.metrics
+
+    def test_non_serializable_metric_rejected(self):
+        with pytest.raises(TypeError):
+            GoldenResult("x", {"a": object()})
+
+    def test_describe_lists_failures(self):
+        golden = GoldenResult("x", {"a": 100.0})
+        text = golden.check({"a": 200.0}).describe()
+        assert "FAILED" in text
+        assert "rel err" in text
+
+
+class TestFigure6Golden:
+    """The shipped golden file must keep matching fresh runs."""
+
+    def test_fresh_run_matches_shipped_golden(self):
+        from repro.baselines.driver import run_figure6
+
+        golden = GoldenResult.load(
+            os.path.join(GOLDEN_DIR, "figure6.json"))
+        results = run_figure6(polls_per_type=10, seed=42)
+        report = golden.check(figure6_metrics(results), rel_tol=0.05)
+        assert report.ok, report.describe()
+
+    def test_golden_encodes_the_papers_ordering(self):
+        golden = GoldenResult.load(
+            os.path.join(GOLDEN_DIR, "figure6.json"))
+        metrics = golden.metrics
+        assert metrics["grid_max_cpu_units"] < \
+            metrics["multiagent_max_cpu_units"] < \
+            metrics["centralized_max_cpu_units"]
+        assert metrics["grid_makespan"] < \
+            metrics["multiagent_makespan"] < \
+            metrics["centralized_makespan"]

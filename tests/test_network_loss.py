@@ -1,0 +1,103 @@
+"""Tests for lossy links and the collector's SNMP retries."""
+
+import pytest
+
+from repro.core.system import (
+    DeviceSpec,
+    GridManagementSystem,
+    GridTopologySpec,
+    HostSpec,
+)
+from repro.network.addressing import Address
+from repro.network.topology import LinkSpec, Network
+from repro.network.transport import DeliveryError, Message, Transport
+from repro.simkernel.simulator import Simulator
+
+
+class TestLossyLinks:
+    def test_loss_rate_validated(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency=0, bandwidth=1, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            LinkSpec(latency=0, bandwidth=1, loss_rate=-0.1)
+        assert LinkSpec(latency=0, bandwidth=1, loss_rate=0.5).loss_rate == 0.5
+
+    def _run_messages(self, loss_rate, count, seed=9):
+        sim = Simulator(seed=seed)
+        network = Network(
+            sim, wan=LinkSpec(latency=0.01, bandwidth=1000.0,
+                              loss_rate=loss_rate))
+        network.add_host("a", "site1")
+        receiver = network.add_host("b", "site2")
+        received = []
+        receiver.bind("in", received.append)
+        transport = Transport(network)
+        outcomes = []
+        for _ in range(count):
+            transport.send(Message(
+                Address("a", "x"), Address("b", "in"), None, 1.0,
+            )).add_waiter(outcomes.append)
+        sim.run(until=1000)
+        return received, outcomes, transport
+
+    def test_zero_loss_delivers_everything(self):
+        received, outcomes, transport = self._run_messages(0.0, 50)
+        assert len(received) == 50
+        assert transport.messages_dropped == 0
+
+    def test_half_loss_drops_roughly_half(self):
+        received, outcomes, transport = self._run_messages(0.5, 200)
+        assert 60 <= len(received) <= 140  # loose statistical bound
+        assert transport.messages_dropped == 200 - len(received)
+        drops = [o for o in outcomes if isinstance(o, DeliveryError)]
+        assert all("lost in transit" in str(error) for error in drops)
+
+    def test_loss_is_seed_deterministic(self):
+        first, _, _ = self._run_messages(0.3, 100, seed=5)
+        second, _, _ = self._run_messages(0.3, 100, seed=5)
+        assert len(first) == len(second)
+
+
+class TestCollectorRetries:
+    def _lossy_grid(self, loss_rate, seed=9):
+        spec = GridTopologySpec(
+            devices=[DeviceSpec("dev1", "server", "field"),
+                     DeviceSpec("dev2", "router", "field")],
+            collector_hosts=[HostSpec("col1", "mgmt")],
+            analysis_hosts=[HostSpec("inf1", "mgmt")],
+            storage_host=HostSpec("stor", "mgmt"),
+            interface_host=HostSpec("iface", "mgmt"),
+            seed=seed,
+            dataset_threshold=6,
+            wan=LinkSpec(latency=0.05, bandwidth=1000.0,
+                         loss_rate=loss_rate),
+        )
+        return GridManagementSystem(spec)
+
+    def test_retries_recover_lost_polls(self):
+        system = self._lossy_grid(loss_rate=0.25)
+        # 25% loss each way kills ~44% of attempts; give the collector
+        # enough retries that every poll eventually lands.
+        system.collectors[0].poll_retries = 10
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        completed = system.run_until_records(6, timeout=3000)
+        assert completed
+        collector = system.collectors[0]
+        assert collector.poll_retries_used > 0
+        assert collector.polls_failed == 0
+
+    def test_lossless_wan_uses_no_retries(self):
+        system = self._lossy_grid(loss_rate=0.0)
+        system.assign_goals(system.make_paper_goals(polls_per_type=2))
+        assert system.run_until_records(6, timeout=2000)
+        assert system.collectors[0].poll_retries_used == 0
+
+    def test_retries_exhausted_counts_failure(self):
+        system = self._lossy_grid(loss_rate=0.0)
+        system.network.host("dev1").fail()  # never answers
+        system.collectors[0].poll_retries = 1
+        system.assign_goals(system.make_paper_goals(polls_per_type=1))
+        system.run(until=60)
+        collector = system.collectors[0]
+        assert collector.polls_failed >= 1
+        assert collector.poll_retries_used >= 1

@@ -1,0 +1,119 @@
+"""Unit tests for addressing, hosts, sites and link selection."""
+
+import pytest
+
+from repro.network.addressing import Address
+from repro.network.topology import DEFAULT_LAN, LOOPBACK, LinkSpec, Network
+from repro.simkernel.resources import ResourceKind
+from repro.simkernel.simulator import Simulator
+
+
+class TestAddress:
+    def test_parse_round_trip(self):
+        address = Address.parse("host1:snmp")
+        assert address.host == "host1"
+        assert address.port == "snmp"
+        assert str(address) == "host1:snmp"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Address.parse("no-colon")
+
+    def test_equality_and_hash(self):
+        assert Address("a", "p") == Address("a", "p")
+        assert Address("a", "p") != Address("a", "q")
+        assert hash(Address("a", "p")) == hash(Address("a", "p"))
+
+    def test_immutable(self):
+        address = Address("a", "p")
+        with pytest.raises(AttributeError):
+            address.host = "b"
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            Address("", "p")
+        with pytest.raises(ValueError):
+            Address("h", "")
+
+
+class TestLinkSpec:
+    def test_transit_time(self):
+        link = LinkSpec(latency=0.1, bandwidth=100.0)
+        assert link.transit_time(50.0) == pytest.approx(0.6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency=-1, bandwidth=1)
+        with pytest.raises(ValueError):
+            LinkSpec(latency=0, bandwidth=0)
+
+
+class TestNetwork:
+    @pytest.fixture
+    def network(self):
+        return Network(Simulator(seed=1))
+
+    def test_add_and_lookup_host(self, network):
+        host = network.add_host("h1", "site1", role="manager")
+        assert network.host("h1") is host
+        assert host.site.name == "site1"
+        assert "h1" in network.sites["site1"].hosts[0].name
+
+    def test_duplicate_host_rejected(self, network):
+        network.add_host("h1", "site1")
+        with pytest.raises(ValueError):
+            network.add_host("h1", "site2")
+
+    def test_unknown_host_raises(self, network):
+        with pytest.raises(KeyError):
+            network.host("ghost")
+
+    def test_link_selection_hierarchy(self, network):
+        a = network.add_host("a", "site1")
+        b = network.add_host("b", "site1")
+        c = network.add_host("c", "site2")
+        assert network.link_between(a, a) is LOOPBACK
+        assert network.link_between(a, b) is a.site.lan
+        assert network.link_between(a, c) is network.wan
+
+    def test_hosts_by_role(self, network):
+        network.add_host("m", "site1", role="manager")
+        network.add_host("d1", "site1", role="device")
+        network.add_host("d2", "site1", role="device")
+        assert len(network.hosts_by_role("device")) == 2
+
+    def test_host_resources_have_kinds(self, network):
+        host = network.add_host("h", "site1", cpu_capacity=20.0)
+        assert host.cpu.capacity == 20.0
+        assert host.resource(ResourceKind.CPU) is host.cpu
+        assert host.resource(ResourceKind.NET) is host.nic
+        assert host.resource(ResourceKind.DISK) is host.disk
+        with pytest.raises(ValueError):
+            host.resource("quantum")
+
+    def test_port_binding_lifecycle(self, network):
+        host = network.add_host("h", "site1")
+        handler = lambda message: None
+        host.bind("p", handler)
+        assert host.handler_for("p") is handler
+        with pytest.raises(ValueError):
+            host.bind("p", handler)
+        host.unbind("p")
+        assert host.handler_for("p") is None
+
+    def test_fail_and_recover(self, network):
+        host = network.add_host("h", "site1")
+        assert host.up
+        host.fail()
+        assert not host.up
+        host.recover()
+        assert host.up
+
+    def test_site_lan_defaults(self, network):
+        site = network.site("fresh")
+        assert site.lan is DEFAULT_LAN
+
+    def test_duplicate_site_rejected(self, network):
+        network.add_site("s")
+        with pytest.raises(ValueError):
+            network.add_site("s")

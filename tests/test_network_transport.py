@@ -1,0 +1,153 @@
+"""Unit tests for message transport: delivery, costs, failures."""
+
+import pytest
+
+from repro.network.addressing import Address
+from repro.network.protocols import HTTP, SMTP, BatchEnvelope, protocol_overhead
+from repro.network.topology import LinkSpec, Network
+from repro.network.transport import DeliveryError, Message, Transport
+from repro.simkernel.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def network(sim):
+    network = Network(sim, wan=LinkSpec(latency=0.05, bandwidth=1000.0))
+    network.add_host("a", "site1")
+    network.add_host("b", "site1")
+    network.add_host("c", "site2")
+    return network
+
+
+@pytest.fixture
+def transport(network):
+    return Transport(network)
+
+
+def _deliver(sim, transport, message):
+    received = []
+    dst = transport.network.host(message.dest.host)
+    if dst.handler_for(message.dest.port) is None:
+        dst.bind(message.dest.port, received.append)
+    transport.send(message)
+    sim.run(until=100)
+    return received
+
+
+def test_delivery_invokes_bound_handler(sim, network, transport):
+    message = Message(Address("a", "x"), Address("b", "in"), "payload", 10.0)
+    received = _deliver(sim, transport, message)
+    assert len(received) == 1
+    assert received[0].payload == "payload"
+
+
+def test_both_nics_charged(sim, network, transport):
+    message = Message(Address("a", "x"), Address("b", "in"), None, 10.0)
+    _deliver(sim, transport, message)
+    assert network.host("a").nic.total_units == 10.0
+    assert network.host("b").nic.total_units == 10.0
+
+
+def test_latency_includes_link_and_serialization(sim, network, transport):
+    message = Message(Address("a", "x"), Address("c", "in"), None, 100.0)
+    received = _deliver(sim, transport, message)
+    # sender NIC: 100 units / 10 cap = 10s; WAN: 0.05 + 100/1000 = 0.15s
+    assert received[0].latency == pytest.approx(10.15)
+
+
+def test_zero_size_message_is_free_and_fast(sim, network, transport):
+    message = Message(Address("a", "x"), Address("b", "in"), None, 0.0)
+    received = _deliver(sim, transport, message)
+    assert received
+    assert network.host("a").nic.total_units == 0.0
+
+
+def test_unknown_destination_reports_error(sim, network, transport):
+    message = Message(Address("a", "x"), Address("ghost", "in"), None, 1.0)
+    outcomes = []
+    transport.send(message).add_waiter(outcomes.append)
+    sim.run(until=10)
+    assert isinstance(outcomes[0], DeliveryError)
+    assert transport.messages_dropped == 1
+
+
+def test_down_destination_drops(sim, network, transport):
+    network.host("b").fail()
+    message = Message(Address("a", "x"), Address("b", "in"), None, 1.0)
+    outcomes = []
+    transport.send(message).add_waiter(outcomes.append)
+    sim.run(until=10)
+    assert isinstance(outcomes[0], DeliveryError)
+
+
+def test_down_sender_drops(sim, network, transport):
+    network.host("a").fail()
+    message = Message(Address("a", "x"), Address("b", "in"), None, 1.0)
+    outcomes = []
+    transport.send(message).add_waiter(outcomes.append)
+    sim.run(until=10)
+    assert isinstance(outcomes[0], DeliveryError)
+
+
+def test_unbound_port_drops(sim, network, transport):
+    message = Message(Address("a", "x"), Address("b", "nowhere"), None, 1.0)
+    outcomes = []
+    transport.send(message).add_waiter(outcomes.append)
+    sim.run(until=10)
+    assert isinstance(outcomes[0], DeliveryError)
+
+
+def test_send_and_wait_raises_in_process(sim, network, transport):
+    def proc():
+        message = Message(Address("a", "x"), Address("ghost", "in"), None, 1.0)
+        try:
+            yield from transport.send_and_wait(message)
+        except DeliveryError:
+            return "caught"
+        return "no-error"
+
+    process = sim.spawn(proc())
+    sim.run(until=10)
+    assert process.result == "caught"
+
+
+def test_stats_track_counts(sim, network, transport):
+    good = Message(Address("a", "x"), Address("b", "in"), None, 2.0)
+    bad = Message(Address("a", "x"), Address("ghost", "in"), None, 2.0)
+    network.host("b").bind("in", lambda m: None)
+    transport.send(good)
+    transport.send(bad)
+    sim.run(until=10)
+    stats = transport.stats()
+    assert stats["sent"] == 2
+    assert stats["delivered"] == 1
+    assert stats["dropped"] == 1
+    assert stats["units_carried"] == 2.0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Message(Address("a", "x"), Address("b", "in"), None, -1.0)
+
+
+class TestProtocols:
+    def test_http_vs_smtp_overhead(self):
+        assert HTTP.size(10.0) < SMTP.size(10.0)
+
+    def test_lookup_by_name(self):
+        assert protocol_overhead("http") is HTTP
+        with pytest.raises(KeyError):
+            protocol_overhead("carrier-pigeon")
+
+    def test_envelope_wire_size_sums_records(self):
+        class FakeRecord:
+            size_units = 2.0
+
+        envelope = BatchEnvelope([FakeRecord(), FakeRecord()], protocol=HTTP)
+        assert envelope.payload_units == 4.0
+        assert envelope.wire_units == pytest.approx(HTTP.size(4.0))
+        assert len(envelope) == 2

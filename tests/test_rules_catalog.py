@@ -1,0 +1,126 @@
+"""Tests for declarative rule specs and their ACL transmission path."""
+
+import pytest
+
+from repro.rules.catalog import RuleSpec, factory_names, register_factory
+from repro.rules.engine import InferenceEngine
+from repro.rules.facts import WorkingMemory
+
+
+class TestRuleSpec:
+    def test_build_with_params(self):
+        rule = RuleSpec("high-cpu", {"threshold": 50.0}).build()
+        memory = WorkingMemory()
+        memory.assert_new("sample", device="d", site="s",
+                          group="performance", metric="cpu_load",
+                          value=60.0, time=1.0)
+        InferenceEngine(memory, [rule]).run()
+        assert memory.count("problem") == 1
+
+    def test_rename_allows_variant(self):
+        spec = RuleSpec("high-cpu", {"threshold": 50.0},
+                        rename="high-cpu-strict")
+        rule = spec.build()
+        assert rule.name == "high-cpu-strict"
+
+    def test_dict_round_trip(self):
+        spec = RuleSpec("low-disk", {"threshold_kb": 1000}, rename="ld2")
+        rebuilt = RuleSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.build().name == "ld2"
+
+    def test_unknown_factory_rejected(self):
+        with pytest.raises(KeyError):
+            RuleSpec("quantum-divination")
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSpec.from_dict({"no": "factory"})
+        with pytest.raises(ValueError):
+            RuleSpec.from_dict("not a dict")
+
+    def test_catalog_covers_stock_rules(self):
+        names = factory_names()
+        assert "high-cpu" in names
+        assert "multi-site-overload" in names
+        assert len(names) == 15
+
+    def test_register_custom_factory(self):
+        from repro.rules.conditions import Pattern
+        from repro.rules.engine import Rule
+
+        def custom_rule():
+            return Rule("custom-x", [Pattern("anything")], lambda c: None)
+
+        register_factory("custom-x-test", custom_rule)
+        try:
+            assert RuleSpec("custom-x-test").build().name == "custom-x"
+            with pytest.raises(ValueError):
+                register_factory("custom-x-test", custom_rule)
+        finally:
+            from repro.rules import catalog
+            del catalog._FACTORIES["custom-x-test"]
+
+
+class TestAclTransmission:
+    def _system(self):
+        from repro.core.system import GridManagementSystem, GridTopologySpec, HostSpec
+        from repro.baselines.centralized import default_devices
+
+        spec = GridTopologySpec(
+            devices=default_devices(1),
+            collector_hosts=[HostSpec("col1")],
+            analysis_hosts=[HostSpec("inf1"), HostSpec("inf2")],
+            storage_host=HostSpec("stor"),
+            interface_host=HostSpec("iface"),
+            seed=8,
+            dataset_threshold=3,
+        )
+        return GridManagementSystem(spec)
+
+    def test_spec_reaches_all_analyzers(self):
+        system = self._system()
+        spec = RuleSpec("high-cpu", {"threshold": 10.0},
+                        rename="high-cpu-sensitive")
+        system.interface.submit_rule_spec(
+            spec, [analyzer.name for analyzer in system.analyzers])
+        system.run(until=5.0)
+        for analyzer in system.analyzers:
+            assert "high-cpu-sensitive" in analyzer.knowledge_base
+            assert "high-cpu-sensitive" in analyzer.knowledge_base.learned
+
+    def test_duplicate_spec_refused_not_crashing(self):
+        system = self._system()
+        spec = RuleSpec("high-cpu", {"threshold": 10.0})  # name collides
+        system.interface.submit_rule_spec(
+            spec, [system.analyzers[0].name])
+        system.run(until=5.0)
+        # the stock KB already has "high-cpu": learn refused, nothing broke
+        assert "high-cpu" not in system.analyzers[0].knowledge_base.learned
+
+    def test_malformed_spec_answered_with_failure(self):
+        from repro.agents.acl import ACLMessage, Performative
+
+        system = self._system()
+        system.interface.send(ACLMessage(
+            Performative.INFORM,
+            sender=system.interface.name,
+            receiver=system.analyzers[0].name,
+            content={"factory": "nonexistent"},
+            ontology="learn-rule",
+        ))
+        system.run(until=5.0)
+        # analyzer survives and learned nothing
+        assert system.analyzers[0].knowledge_base.learned == []
+
+    def test_transmitted_rule_affects_analysis(self):
+        system = self._system()
+        spec = RuleSpec("high-cpu", {"threshold": 1.0},
+                        rename="cpu-anything")
+        system.interface.submit_rule_spec(
+            spec, [analyzer.name for analyzer in system.analyzers])
+        system.run(until=2.0)
+        system.assign_goals(system.make_paper_goals(polls_per_type=1))
+        assert system.run_until_records(3, timeout=2000)
+        kinds = {finding.kind for finding in system.interface.all_findings()}
+        assert "high-cpu" in kinds  # the renamed rule still emits high-cpu

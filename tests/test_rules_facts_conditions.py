@@ -1,0 +1,171 @@
+"""Unit tests for facts, working memory and the condition DSL."""
+
+import pytest
+
+from repro.rules.conditions import (
+    BETWEEN, CONTAINS, EQ, GE, GT, IN, LE, LT, NE, PRED, Pattern, Var,
+)
+from repro.rules.facts import Fact, WorkingMemory
+
+
+class TestFact:
+    def test_attribute_access(self):
+        fact = Fact("sample", device="d1", value=10)
+        assert fact["device"] == "d1"
+        assert fact.get("missing", "default") == "default"
+        assert "value" in fact
+
+    def test_immutable(self):
+        fact = Fact("sample", x=1)
+        with pytest.raises(AttributeError):
+            fact.type = "other"
+
+    def test_same_content_ignores_identity(self):
+        assert Fact("a", x=1).same_content(Fact("a", x=1))
+        assert not Fact("a", x=1).same_content(Fact("a", x=2))
+        assert not Fact("a", x=1).same_content(Fact("b", x=1))
+
+    def test_content_key_handles_unhashable_values(self):
+        fact = Fact("a", items=[1, 2], mapping={"k": [3]}, tags={"x"})
+        assert isinstance(hash(fact.content_key()), int)
+
+    def test_ids_are_unique(self):
+        assert Fact("a").id != Fact("a").id
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            Fact("")
+
+
+class TestWorkingMemory:
+    def test_assert_and_query(self):
+        memory = WorkingMemory()
+        memory.assert_new("sample", device="d1")
+        memory.assert_new("sample", device="d2")
+        memory.assert_new("problem", device="d1")
+        assert len(memory) == 3
+        assert memory.count("sample") == 2
+        assert memory.types() == ["problem", "sample"]
+
+    def test_duplicate_content_collapses(self):
+        memory = WorkingMemory()
+        first = memory.assert_new("sample", device="d1")
+        second = memory.assert_new("sample", device="d1")
+        assert first is second
+        assert len(memory) == 1
+        assert memory.assertions == 1
+
+    def test_retract(self):
+        memory = WorkingMemory()
+        fact = memory.assert_new("sample", device="d1")
+        assert memory.retract(fact)
+        assert not memory.retract(fact)
+        assert len(memory) == 0
+        # content can be re-asserted after retraction
+        again = memory.assert_new("sample", device="d1")
+        assert again is not fact
+
+    def test_retract_type(self):
+        memory = WorkingMemory()
+        memory.assert_new("sample", device="d1")
+        memory.assert_new("sample", device="d2")
+        memory.assert_new("problem", device="d1")
+        assert memory.retract_type("sample") == 2
+        assert memory.count("sample") == 0
+        assert memory.count("problem") == 1
+
+    def test_first_with_attribute_filter(self):
+        memory = WorkingMemory()
+        memory.assert_new("sample", device="d1", value=1)
+        memory.assert_new("sample", device="d2", value=2)
+        fact = memory.first("sample", device="d2")
+        assert fact["value"] == 2
+        assert memory.first("sample", device="d9") is None
+
+    def test_clock_stamps_assertions(self):
+        times = [5.0]
+        memory = WorkingMemory(clock=lambda: times[0])
+        fact = memory.assert_new("sample", x=1)
+        assert fact.asserted_at == 5.0
+
+    def test_version_increments_on_change(self):
+        memory = WorkingMemory()
+        v0 = memory.version
+        fact = memory.assert_new("a", x=1)
+        assert memory.version > v0
+        v1 = memory.version
+        memory.retract(fact)
+        assert memory.version > v1
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("predicate,value,expected", [
+        (EQ(5), 5, True), (EQ(5), 6, False),
+        (NE(5), 6, True), (NE(5), 5, False),
+        (GT(5), 6, True), (GT(5), 5, False), (GT(5), None, False),
+        (GE(5), 5, True), (GE(5), 4, False),
+        (LT(5), 4, True), (LT(5), 5, False), (LT(5), None, False),
+        (LE(5), 5, True), (LE(5), 6, False),
+        (BETWEEN(1, 3), 2, True), (BETWEEN(1, 3), 4, False),
+        (IN(1, 2, 3), 2, True), (IN(1, 2, 3), 9, False),
+        (IN([1, 2]), 1, True),
+        (CONTAINS("x"), ["x", "y"], True), (CONTAINS("x"), ["y"], False),
+        (CONTAINS("x"), 5, False),
+        (PRED(lambda v: v % 2 == 0), 4, True),
+        (PRED(lambda v: v % 2 == 0), 5, False),
+    ])
+    def test_predicate_semantics(self, predicate, value, expected):
+        assert predicate.check(value) is expected
+
+    def test_between_bounds_validated(self):
+        with pytest.raises(ValueError):
+            BETWEEN(3, 1)
+
+    def test_in_with_unhashable_probe(self):
+        assert IN(1, 2).check([1]) is False
+
+
+class TestPattern:
+    def test_literal_constraint(self):
+        pattern = Pattern("sample", metric="cpu_load")
+        assert pattern.match(
+            Fact("sample", metric="cpu_load"), {}) is not None
+        assert pattern.match(Fact("sample", metric="disk"), {}) is None
+        assert pattern.match(Fact("other", metric="cpu_load"), {}) is None
+
+    def test_missing_attribute_fails(self):
+        pattern = Pattern("sample", metric="cpu_load")
+        assert pattern.match(Fact("sample", value=1), {}) is None
+
+    def test_variable_binding(self):
+        pattern = Pattern("sample", device=Var("d"))
+        bindings = pattern.match(Fact("sample", device="d1"), {})
+        assert bindings == {"d": "d1"}
+
+    def test_variable_consistency_across_bindings(self):
+        pattern = Pattern("sample", device=Var("d"))
+        assert pattern.match(Fact("sample", device="d1"), {"d": "d1"}) \
+            is not None
+        assert pattern.match(Fact("sample", device="d2"), {"d": "d1"}) is None
+
+    def test_bind_whole_fact(self):
+        pattern = Pattern("sample", bind="f", device="d1")
+        fact = Fact("sample", device="d1")
+        bindings = pattern.match(fact, {})
+        assert bindings["f"] is fact
+
+    def test_input_bindings_not_mutated(self):
+        pattern = Pattern("sample", device=Var("d"))
+        original = {}
+        pattern.match(Fact("sample", device="d1"), original)
+        assert original == {}
+
+    def test_predicate_and_var_mix(self):
+        pattern = Pattern("sample", value=GT(10), device=Var("d"))
+        bindings = pattern.match(Fact("sample", value=50, device="x"), {})
+        assert bindings == {"d": "x"}
+        assert pattern.match(Fact("sample", value=5, device="x"), {}) is None
+
+    def test_empty_fact_type_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern("")

@@ -1,0 +1,150 @@
+"""Tests for the extended stock rules (silent interface, trends,
+multi-site correlation)."""
+
+from repro.rules.engine import InferenceEngine
+from repro.rules.facts import WorkingMemory
+from repro.rules import stdlib
+
+
+def _memory_with(*facts):
+    memory = WorkingMemory()
+    for fact_type, attrs in facts:
+        memory.assert_new(fact_type, **attrs)
+    return memory
+
+
+class TestSilentInterface:
+    def test_up_but_silent_flagged(self):
+        memory = _memory_with(
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_oper_status", value=1, instance=2,
+                            time=1.0)),
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_in_rate", value=0.0, instance=2,
+                            time=1.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.silent_interface_rule()])
+        engine.run()
+        problems = memory.facts("problem")
+        assert len(problems) == 1
+        assert problems[0]["kind"] == "silent-interface"
+        assert problems[0]["value"] == 2
+
+    def test_down_interface_not_silent(self):
+        memory = _memory_with(
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_oper_status", value=2, instance=2,
+                            time=1.0)),
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_in_rate", value=0.0, instance=2,
+                            time=1.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.silent_interface_rule()])
+        engine.run()
+        assert memory.count("problem") == 0
+
+    def test_instances_must_match(self):
+        memory = _memory_with(
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_oper_status", value=1, instance=1,
+                            time=1.0)),
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_in_rate", value=0.0, instance=2,
+                            time=1.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.silent_interface_rule()])
+        engine.run()
+        assert memory.count("problem") == 0
+
+    def test_busy_interface_not_flagged(self):
+        memory = _memory_with(
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_oper_status", value=1, instance=1,
+                            time=1.0)),
+            ("sample", dict(device="r1", site="s", group="traffic",
+                            metric="if_in_rate", value=5000.0, instance=1,
+                            time=1.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.silent_interface_rule()])
+        engine.run()
+        assert memory.count("problem") == 0
+
+
+class TestTrendRules:
+    def test_load_trend_fires_above_factor(self):
+        memory = _memory_with(
+            ("sample", dict(device="d1", site="s", group="performance",
+                            metric="load_avg", value=5.0, time=1.0)),
+            ("baseline", dict(device="d1", metric="load_avg", mean=1.0,
+                              maximum=2.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.load_trend_rule(2.0)])
+        engine.run()
+        assert memory.facts("problem")[0]["kind"] == "load-trend"
+
+    def test_load_trend_quiet_below_factor(self):
+        memory = _memory_with(
+            ("sample", dict(device="d1", site="s", group="performance",
+                            metric="load_avg", value=1.5, time=1.0)),
+            ("baseline", dict(device="d1", metric="load_avg", mean=1.0,
+                              maximum=2.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.load_trend_rule(2.0)])
+        engine.run()
+        assert memory.count("problem") == 0
+
+    def test_disk_projection_fires_on_sharp_drop(self):
+        memory = _memory_with(
+            ("sample", dict(device="d1", site="s", group="storage",
+                            metric="disk_free", value=600_000.0, time=1.0)),
+            ("baseline", dict(device="d1", metric="disk_free",
+                              mean=1_000_000.0, maximum=1_100_000.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.disk_projection_rule(0.25)])
+        engine.run()
+        assert memory.facts("problem")[0]["kind"] == "disk-filling"
+
+    def test_disk_projection_tolerates_noise(self):
+        memory = _memory_with(
+            ("sample", dict(device="d1", site="s", group="storage",
+                            metric="disk_free", value=900_000.0, time=1.0)),
+            ("baseline", dict(device="d1", metric="disk_free",
+                              mean=1_000_000.0, maximum=1_100_000.0)),
+        )
+        engine = InferenceEngine(memory, [stdlib.disk_projection_rule(0.25)])
+        engine.run()
+        assert memory.count("problem") == 0
+
+
+class TestMultiSiteRule:
+    def _problem(self, device, site):
+        return ("problem", dict(kind="high-cpu", severity="major",
+                                device=device, site=site, value=95,
+                                metric="cpu_load"))
+
+    def test_two_sites_produce_incident(self):
+        memory = _memory_with(
+            self._problem("d1", "site1"), self._problem("d2", "site2"))
+        engine = InferenceEngine(memory, [stdlib.multi_site_overload_rule()])
+        engine.run()
+        incidents = memory.facts("incident")
+        assert len(incidents) == 1
+        assert incidents[0]["kind"] == "multi-site-overload"
+        assert incidents[0]["site"] == "site1,site2"
+
+    def test_same_site_does_not_fire(self):
+        memory = _memory_with(
+            self._problem("d1", "site1"), self._problem("d2", "site1"))
+        engine = InferenceEngine(memory, [stdlib.multi_site_overload_rule()])
+        engine.run()
+        assert memory.count("incident") == 0
+
+    def test_three_sites_fire_per_pair(self):
+        memory = _memory_with(
+            self._problem("d1", "site1"),
+            self._problem("d2", "site2"),
+            self._problem("d3", "site3"),
+        )
+        engine = InferenceEngine(memory, [stdlib.multi_site_overload_rule()])
+        engine.run()
+        assert memory.count("incident") == 3  # {1,2} {1,3} {2,3}

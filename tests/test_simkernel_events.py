@@ -1,0 +1,114 @@
+"""Unit tests for the event queue and SimEvent primitives."""
+
+import pytest
+
+from repro.simkernel.events import EventQueue, SimEvent
+from repro.simkernel.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, fired.append, ("c",))
+        queue.push(1.0, fired.append, ("a",))
+        queue.push(2.0, fired.append, ("b",))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback(*event.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_preserves_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.push(5.0, order.append, (tag,))
+        while (event := queue.pop()) is not None:
+            event.callback(*event.args)
+        assert order == ["first", "second", "third"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, order.append, ("low",), priority=10)
+        queue.push(5.0, order.append, ("high",), priority=-10)
+        while (event := queue.pop()) is not None:
+            event.callback(*event.args)
+        assert order == ["high", "low"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, fired.append, ("keep",))
+        drop = queue.push(0.5, fired.append, ("drop",))
+        drop.cancel()
+        event = queue.pop()
+        assert event is keep
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        first.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimEvent:
+    def test_trigger_delivers_value_to_waiter(self):
+        sim = Simulator()
+        event = SimEvent(sim, "x")
+        got = []
+        event.add_waiter(got.append)
+        event.trigger(42)
+        sim.run()
+        assert got == [42]
+
+    def test_waiter_added_after_trigger_fires_immediately(self):
+        sim = Simulator()
+        event = SimEvent(sim, "x")
+        event.trigger("late")
+        got = []
+        event.add_waiter(got.append)
+        sim.run()
+        assert got == ["late"]
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        event = SimEvent(sim)
+        event.trigger()
+        with pytest.raises(RuntimeError):
+            event.trigger()
+
+    def test_multiple_waiters_all_fire(self):
+        sim = Simulator()
+        event = SimEvent(sim)
+        got = []
+        for _ in range(3):
+            event.add_waiter(got.append)
+        event.trigger("v")
+        sim.run()
+        assert got == ["v"] * 3
+
+    def test_discard_waiter_prevents_delivery(self):
+        sim = Simulator()
+        event = SimEvent(sim)
+        got = []
+        event.add_waiter(got.append)
+        event.discard_waiter(got.append)
+        event.trigger(1)
+        sim.run()
+        assert got == []

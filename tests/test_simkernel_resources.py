@@ -1,0 +1,165 @@
+"""Unit tests for resource queueing and busy-time accounting."""
+
+import pytest
+
+from repro.simkernel.resources import Resource, ResourceKind
+from repro.simkernel.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def cpu(sim):
+    return Resource(sim, "cpu", ResourceKind.CPU, capacity=10.0)
+
+
+def test_service_time_is_units_over_capacity(sim, cpu):
+    def proc():
+        yield cpu.use(25.0)
+        return sim.now
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.result == 2.5
+    assert cpu.busy_time == 2.5
+
+
+def test_fifo_queueing_serializes_requests(sim, cpu):
+    finish_times = {}
+
+    def proc(tag, units):
+        yield cpu.use(units)
+        finish_times[tag] = sim.now
+
+    sim.spawn(proc("first", 10.0))
+    sim.spawn(proc("second", 10.0))
+    sim.run()
+    assert finish_times["first"] == 1.0
+    assert finish_times["second"] == 2.0
+
+
+def test_priority_jumps_queue(sim, cpu):
+    order = []
+
+    def proc(tag, units, priority):
+        yield cpu.use(units, priority=priority)
+        order.append(tag)
+
+    def spawn_all():
+        # First grabs the server; urgent should overtake normal in queue.
+        sim.spawn(proc("head", 10.0, 0))
+        sim.spawn(proc("normal", 10.0, 5))
+        sim.spawn(proc("urgent", 10.0, -5))
+        yield 0.0
+
+    sim.spawn(spawn_all())
+    sim.run()
+    assert order == ["head", "urgent", "normal"]
+
+
+def test_ledger_tracks_units_by_label(sim, cpu):
+    def proc():
+        yield cpu.use(10.0, label="parse")
+        yield cpu.use(5.0, label="store")
+        yield cpu.use(5.0, label="parse")
+
+    sim.spawn(proc())
+    sim.run()
+    assert cpu.units_by_label == {"parse": 15.0, "store": 5.0}
+    assert cpu.total_units == 20.0
+    assert cpu.completed_requests == 3
+
+
+def test_charge_accounts_without_queueing(sim, cpu):
+    cpu.charge(30.0, label="direct")
+    assert cpu.total_units == 30.0
+    assert cpu.busy_time == 3.0
+    assert cpu.completed_requests == 0
+
+
+def test_utilization_fraction(sim, cpu):
+    def proc():
+        yield cpu.use(50.0)
+
+    sim.spawn(proc())
+    sim.run()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert cpu.utilization() == pytest.approx(0.5)
+    assert cpu.utilization(horizon=20.0) == pytest.approx(0.25)
+
+
+def test_wait_and_service_time_recorded(sim, cpu):
+    uses = []
+
+    def proc(units):
+        request = yield cpu.use(units)
+        uses.append(request)
+
+    sim.spawn(proc(10.0))
+    sim.spawn(proc(20.0))
+    sim.run()
+    first, second = uses
+    assert first.wait_time == 0.0
+    assert first.service_time == 1.0
+    assert second.wait_time == 1.0
+    assert second.service_time == 2.0
+
+
+def test_zero_capacity_rejected(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, "bad", ResourceKind.CPU, capacity=0.0)
+
+
+def test_negative_units_rejected(sim, cpu):
+    with pytest.raises(ValueError):
+        cpu.use(-1.0)
+    with pytest.raises(ValueError):
+        cpu.charge(-1.0)
+
+
+def test_zero_units_complete_instantly(sim, cpu):
+    def proc():
+        yield cpu.use(0.0)
+        return sim.now
+
+    process = sim.spawn(proc())
+    sim.run()
+    assert process.result == 0.0
+    assert cpu.busy_time == 0.0
+
+
+def test_snapshot_is_plain_data(sim, cpu):
+    def proc():
+        yield cpu.use(10.0, label="x")
+
+    sim.spawn(proc())
+    sim.run()
+    snap = cpu.snapshot()
+    assert snap["total_units"] == 10.0
+    assert snap["units_by_label"] == {"x": 10.0}
+    assert snap["kind"] == ResourceKind.CPU
+
+
+def test_queue_length_visible_while_busy(sim, cpu):
+    lengths = []
+
+    def hog():
+        yield cpu.use(100.0)
+
+    def waiter():
+        yield cpu.use(1.0)
+
+    def observer():
+        yield 1.0
+        lengths.append(cpu.queue_length)
+        lengths.append(cpu.busy)
+
+    sim.spawn(hog())
+    sim.spawn(waiter())
+    sim.spawn(observer())
+    sim.run()
+    assert lengths == [1, True]

@@ -1,0 +1,102 @@
+"""Tests for the simulation tracer."""
+
+import pytest
+
+from repro.network.addressing import Address
+from repro.network.topology import Network
+from repro.network.transport import Message, Transport
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import SimulationTracer, trace_transport
+
+
+class TestTracer:
+    def test_records_carry_time_and_detail(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim)
+        sim.schedule(3.0, lambda: tracer.record("tick", n=1))
+        sim.run()
+        assert len(tracer) == 1
+        entry = tracer.entries()[0]
+        assert entry.time == 3.0
+        assert entry.kind == "tick"
+        assert entry.detail == {"n": 1}
+
+    def test_capacity_bounds_and_counts_drops(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim, capacity=3)
+        for index in range(5):
+            tracer.record("x", i=index)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [entry.detail["i"] for entry in tracer.entries()] == [2, 3, 4]
+
+    def test_kind_filter_drops_unwanted(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim, kinds=("keep",))
+        tracer.record("keep", a=1)
+        tracer.record("drop", b=2)
+        assert len(tracer) == 1
+        assert tracer.dropped == 1
+
+    def test_entry_filters(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim)
+        for time, kind in [(1.0, "a"), (2.0, "b"), (3.0, "a")]:
+            sim.schedule(time, lambda k=kind: tracer.record(k))
+        sim.run()
+        assert len(tracer.entries(kind="a")) == 2
+        assert len(tracer.entries(start=1.5)) == 2
+        assert len(tracer.entries(end=1.5)) == 1
+        assert len(tracer.entries(kind="a", start=2.5)) == 1
+
+    def test_counts_and_render(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim)
+        tracer.record("a", x=1)
+        tracer.record("a", x=2)
+        tracer.record("b")
+        assert tracer.counts_by_kind() == {"a": 2, "b": 1}
+        text = tracer.render(kind="a", limit=1)
+        assert "x=2" in text
+        assert text.count("\n") == 0
+
+    def test_kernel_capture(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim, capture_kernel=True)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert tracer.counts_by_kind().get("kernel", 0) >= 1
+
+
+class TestTransportTracing:
+    @pytest.fixture
+    def world(self):
+        sim = Simulator(seed=2)
+        network = Network(sim)
+        network.add_host("a", "site1")
+        network.add_host("b", "site1")
+        network.host("b").bind("in", lambda message: None)
+        transport = Transport(network)
+        tracer = SimulationTracer(sim)
+        trace_transport(transport, tracer)
+        return sim, network, transport, tracer
+
+    def test_delivery_recorded_with_latency(self, world):
+        sim, network, transport, tracer = world
+        transport.send(Message(
+            Address("a", "out"), Address("b", "in"), None, 5.0, "http"))
+        sim.run(until=10)
+        messages = tracer.entries(kind="message")
+        assert len(messages) == 1
+        assert messages[0].detail["protocol"] == "http"
+        assert messages[0].detail["latency"] > 0
+
+    def test_drop_recorded_with_reason(self, world):
+        sim, network, transport, tracer = world
+        transport.send(Message(
+            Address("a", "out"), Address("ghost", "in"), None, 1.0))
+        sim.run(until=10)
+        drops = tracer.entries(kind="message-drop")
+        assert len(drops) == 1
+        assert "unknown destination" in drops[0].detail["reason"]
+        assert tracer.entries(kind="message") == []

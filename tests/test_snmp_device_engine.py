@@ -1,0 +1,191 @@
+"""Unit tests for managed devices, the SNMP engine and the client."""
+
+import pytest
+
+from repro.network.topology import Network
+from repro.network.transport import Transport
+from repro.simkernel.simulator import Simulator
+from repro.snmp.device import ManagedDevice, PROFILES
+from repro.snmp.engine import PduType, SnmpEngine, SnmpError
+from repro.snmp.manager import SnmpClient, SnmpTimeout
+from repro.snmp.mib import std
+from repro.snmp.traps import TrapSink
+
+
+@pytest.fixture
+def stack():
+    sim = Simulator(seed=5)
+    network = Network(sim)
+    manager_host = network.add_host("mgr", "site1", role="manager")
+    device_host = network.add_host("dev1", "site1", role="device")
+    transport = Transport(network)
+    device = ManagedDevice(sim, device_host, profile="server", tick=0.5)
+    engine = SnmpEngine(device, transport)
+    client = SnmpClient(manager_host, transport, timeout=5.0)
+    return sim, network, transport, device, engine, client
+
+
+class TestDevice:
+    def test_profiles_shape_the_mib(self, stack):
+        sim, network, transport, device, engine, client = stack
+        assert device.mib.get(std.IF_IN_OCTETS.child(2)) is not None
+        router_host = network.add_host("r1", "site1", role="device")
+        router = ManagedDevice(sim, router_host, profile="router")
+        assert router.mib.get(std.IF_IN_OCTETS.child(8)) is not None
+        assert device.mib.get(std.IF_IN_OCTETS.child(8)) is None
+
+    def test_dynamics_evolve_metrics(self, stack):
+        sim, _, _, device, _, _ = stack
+        before = list(device.if_in_octets)
+        sim.run(until=5.0)
+        assert device.if_in_octets != before
+        assert 0 <= device.cpu_load <= 100
+
+    def test_cpu_runaway_fault(self, stack):
+        sim, _, _, device, _, _ = stack
+        device.inject_fault("cpu_runaway")
+        sim.run(until=3.0)
+        assert device.cpu_load >= 90.0
+        device.clear_fault("cpu_runaway")
+        sim.run(until=10.0)
+        assert device.cpu_load < 90.0
+
+    def test_disk_filling_fault_drains_disk(self, stack):
+        sim, _, _, device, _, _ = stack
+        before = device.disk_free_kb
+        device.inject_fault("disk_filling")
+        sim.run(until=10.0)
+        assert device.disk_free_kb < before
+
+    def test_interface_down_fault_changes_oper_status(self, stack):
+        sim, _, _, device, _, _ = stack
+        status_oid = std.IF_OPER_STATUS.child(1)
+        assert device.mib.get(status_oid).read() == 1
+        device.inject_fault("interface_down", interface=0)
+        assert device.mib.get(status_oid).read() == 2
+        device.clear_fault("interface_down", interface=0)
+        assert device.mib.get(status_oid).read() == 1
+
+    def test_invalid_fault_kinds_rejected(self, stack):
+        _, _, _, device, _, _ = stack
+        with pytest.raises(ValueError):
+            device.inject_fault("gremlins")
+        with pytest.raises(ValueError):
+            device.inject_fault("interface_down")  # missing index
+        with pytest.raises(ValueError):
+            device.inject_fault("interface_down", interface=99)
+
+    def test_stop_halts_dynamics(self, stack):
+        sim, _, _, device, _, _ = stack
+        sim.run(until=2.0)
+        device.stop()
+        snapshot = device.cpu_load
+        sim.run(until=10.0)
+        assert device.cpu_load == snapshot
+
+
+class TestEngineAndClient:
+    def _run(self, sim, generator):
+        process = sim.spawn(generator)
+        sim.run(until=60.0)
+        return process
+
+    def test_get_returns_values(self, stack):
+        sim, _, _, device, _, client = stack
+
+        def proc():
+            response = yield from client.get(
+                "dev1", [std.CPU_LOAD, std.SYS_NAME])
+            return response
+
+        process = self._run(sim, proc())
+        response = process.result
+        assert response.ok
+        values = {vb.name: vb.value for vb in response.varbinds}
+        assert values["sysName"] == "dev1"
+        assert 0 <= values["ssCpuBusy"] <= 100
+
+    def test_get_unknown_oid_flags_error(self, stack):
+        sim, _, _, _, _, client = stack
+
+        def proc():
+            response = yield from client.get("dev1", ["9.9.9.9"])
+            return response
+
+        response = self._run(sim, proc()).result
+        assert not response.ok
+        assert response.varbinds[0].error == SnmpError.NO_SUCH_OBJECT
+
+    def test_getnext_and_walk(self, stack):
+        sim, _, _, device, _, client = stack
+
+        def proc():
+            walked = yield from client.walk("dev1", std.PROC_TABLE)
+            return walked
+
+        walked = self._run(sim, proc()).result
+        assert len(walked) == device.profile.process_slots
+        assert all(vb.value.startswith("proc-dev1") for vb in walked)
+
+    def test_getbulk_repeats(self, stack):
+        sim, _, _, _, _, client = stack
+
+        def proc():
+            response = yield from client.get_bulk(
+                "dev1", [std.SYS_DESCR], max_repetitions=3)
+            return response
+
+        response = self._run(sim, proc()).result
+        assert len(response.varbinds) == 3
+
+    def test_set_rejected_on_readonly(self, stack):
+        sim, _, _, _, _, client = stack
+
+        def proc():
+            response = yield from client.set("dev1", {std.CPU_LOAD: 5})
+            return response
+
+        response = self._run(sim, proc()).result
+        assert response.varbinds[0].error == SnmpError.NOT_WRITABLE
+
+    def test_timeout_when_device_down(self, stack):
+        sim, network, _, _, _, client = stack
+        network.host("dev1").fail()
+
+        def proc():
+            try:
+                yield from client.get("dev1", [std.CPU_LOAD])
+            except SnmpTimeout:
+                return "timeout"
+            return "answered"
+
+        assert self._run(sim, proc()).result == "timeout"
+        assert client.timeouts == 1
+
+    def test_poll_charges_device_cpu_and_both_nics(self, stack):
+        sim, network, _, device, engine, client = stack
+
+        def proc():
+            yield from client.get(
+                "dev1", [std.CPU_LOAD],
+                request_size_units=0.5, response_size_units=4.5,
+            )
+
+        self._run(sim, proc())
+        assert device.host.cpu.units_by_label["snmp-agent"] > 0
+        assert network.host("mgr").nic.total_units == pytest.approx(5.0)
+        assert engine.pdus_handled == 1
+
+
+class TestTraps:
+    def test_trap_reaches_subscribers(self, stack):
+        sim, network, transport, device, _, _ = stack
+        sink = TrapSink(network.host("mgr"), transport)
+        got = []
+        sink.subscribe(got.append)
+        trap = sink.emit_from(device, "linkDown", {"interface": 1}, "critical")
+        sim.run(until=5.0)
+        assert got == [trap]
+        assert sink.received == [trap]
+        assert trap.raised_at is not None
+        assert trap.device_name == "dev1"

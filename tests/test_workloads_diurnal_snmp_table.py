@@ -1,0 +1,85 @@
+"""Tests for the diurnal workload generator and SNMP table assembly."""
+
+import pytest
+
+from repro.network.topology import Network
+from repro.network.transport import Transport
+from repro.simkernel.simulator import Simulator
+from repro.snmp.device import ManagedDevice
+from repro.snmp.engine import SnmpEngine
+from repro.snmp.manager import SnmpClient
+from repro.snmp.mib import std
+from repro.workloads.generator import RequestMix, WorkloadGenerator
+
+
+class TestDiurnalGoals:
+    def _goals(self, peak_fraction=0.7, seed=3):
+        generator = WorkloadGenerator(seed=seed)
+        return generator.diurnal_goals(
+            RequestMix(40, 40, 40), ["d1", "d2"], day_length=1000.0,
+            peak_fraction=peak_fraction, peak_start=0.25, peak_end=0.75,
+        )
+
+    def test_counts_and_bounds(self):
+        goals = self._goals()
+        assert len(goals) == 120
+        assert all(0 <= goal.start_after <= 1000.0 for goal in goals)
+        starts = [goal.start_after for goal in goals]
+        assert starts == sorted(starts)
+
+    def test_peak_window_holds_requested_share(self):
+        goals = self._goals(peak_fraction=0.7)
+        in_peak = sum(1 for goal in goals if 250.0 <= goal.start_after <= 750.0)
+        assert in_peak == pytest.approx(0.7 * 120, abs=1)
+
+    def test_off_peak_avoids_peak_window(self):
+        goals = self._goals(peak_fraction=0.0)
+        in_peak = sum(1 for goal in goals
+                      if 250.0 < goal.start_after < 750.0)
+        assert in_peak == 0
+
+    def test_reproducible_by_seed(self):
+        first = [g.start_after for g in self._goals(seed=8)]
+        second = [g.start_after for g in self._goals(seed=8)]
+        assert first == second
+
+    def test_validation(self):
+        generator = WorkloadGenerator(seed=1)
+        with pytest.raises(ValueError):
+            generator.diurnal_goals(RequestMix(1, 1, 1), ["d"], day_length=0)
+        with pytest.raises(ValueError):
+            generator.diurnal_goals(RequestMix(1, 1, 1), ["d"],
+                                    day_length=10, peak_fraction=1.5)
+        with pytest.raises(ValueError):
+            generator.diurnal_goals(RequestMix(1, 1, 1), ["d"],
+                                    day_length=10, peak_start=0.8,
+                                    peak_end=0.2)
+
+
+class TestSnmpTable:
+    def test_get_table_assembles_rows(self):
+        sim = Simulator(seed=4)
+        network = Network(sim)
+        manager = network.add_host("mgr", "site1")
+        device_host = network.add_host("dev1", "site1", role="device")
+        transport = Transport(network)
+        device = ManagedDevice(sim, device_host, profile="router")
+        SnmpEngine(device, transport)
+        client = SnmpClient(manager, transport)
+
+        def proc():
+            rows = yield from client.get_table("dev1", {
+                "in": std.IF_IN_OCTETS,
+                "out": std.IF_OUT_OCTETS,
+                "status": std.IF_OPER_STATUS,
+            })
+            return rows
+
+        process = sim.spawn(proc())
+        sim.run(until=200)
+        rows = process.result
+        assert len(rows) == device.profile.interface_count
+        for index, row in rows.items():
+            assert len(index) == 1
+            assert set(row) == {"in", "out", "status"}
+            assert row["status"] in (1, 2)

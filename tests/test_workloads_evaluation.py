@@ -1,0 +1,193 @@
+"""Unit tests for workload generation, scenarios and evaluation helpers."""
+
+import pytest
+
+from repro.core.system import DeviceSpec
+from repro.evaluation.accounting import (
+    HostUtilization,
+    UtilizationReport,
+    compare_reports,
+)
+from repro.evaluation.tables import format_number, format_table
+from repro.network.topology import Network
+from repro.simkernel.resources import ResourceKind
+from repro.simkernel.simulator import Simulator
+from repro.workloads.faults import FaultEvent
+from repro.workloads.generator import RequestMix, WorkloadGenerator, goals_for_mix
+from repro.workloads.scenarios import (
+    crossover_scenarios,
+    paper_scenario,
+    scaling_scenario,
+)
+
+
+class TestRequestMix:
+    def test_totals_and_access(self):
+        mix = RequestMix(1, 2, 3)
+        assert mix.total == 6
+        assert mix["B"] == 2
+
+    def test_scaled(self):
+        mix = RequestMix(10, 10, 10).scaled(0.5)
+        assert mix.total == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RequestMix(-1, 0, 0)
+
+
+class TestGoalGeneration:
+    def test_deterministic_layout(self):
+        goals = goals_for_mix(RequestMix(4, 4, 4), ["d1", "d2"])
+        assert len(goals) == 12
+        # devices strictly alternate within each type
+        type_a = [g for g in goals if g.request_type == "A"]
+        assert [g.device_name for g in type_a] == ["d1", "d2", "d1", "d2"]
+
+    def test_empty_devices_rejected(self):
+        with pytest.raises(ValueError):
+            goals_for_mix(RequestMix(1, 1, 1), [])
+
+    def test_poisson_goals_bounded_and_sorted(self):
+        generator = WorkloadGenerator(seed=4)
+        goals = generator.poisson_goals(
+            RequestMix(20, 0, 0), ["d1"], horizon=100.0)
+        assert len(goals) == 20
+        starts = [goal.start_after for goal in goals]
+        assert starts == sorted(starts)
+        assert all(0 <= start <= 100.0 for start in starts)
+
+    def test_poisson_reproducible_by_seed(self):
+        goals_a = WorkloadGenerator(seed=4).poisson_goals(
+            RequestMix(5, 5, 5), ["d1", "d2"], horizon=50.0)
+        goals_b = WorkloadGenerator(seed=4).poisson_goals(
+            RequestMix(5, 5, 5), ["d1", "d2"], horizon=50.0)
+        assert [(g.device_name, g.start_after) for g in goals_a] == \
+            [(g.device_name, g.start_after) for g in goals_b]
+
+    def test_periodic_goals_cover_devices_and_types(self):
+        generator = WorkloadGenerator(seed=1)
+        goals = generator.periodic_goals(["d1", "d2"], polls_per_device=3,
+                                         interval=5.0)
+        assert len(goals) == 6
+        assert all(goal.count == 3 for goal in goals)
+
+
+class TestScenarios:
+    def test_paper_scenario_matches_evaluation(self):
+        scenario = paper_scenario()
+        assert len(scenario.devices) == 3
+        assert scenario.mix.total == 30
+        assert scenario.total_requests == 30
+
+    def test_scaling_scenario_spreads_sites(self):
+        scenario = scaling_scenario(6, 5, site_count=2)
+        sites = {device.site for device in scenario.devices}
+        assert sites == {"site1", "site2"}
+
+    def test_crossover_scenarios_monotonic(self):
+        scenarios = crossover_scenarios(points=(1, 5, 10))
+        totals = [scenario.total_requests for scenario in scenarios]
+        assert totals == [3, 15, 30]
+
+    def test_scenario_validation(self):
+        from repro.workloads.scenarios import Scenario
+
+        with pytest.raises(ValueError):
+            Scenario("empty", [], RequestMix())
+
+
+class TestFaultEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1, kind="cpu_runaway", target="d")
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="locusts", target="d")
+
+    def test_plan_sorts_by_time(self):
+        from repro.workloads.faults import FaultPlan
+
+        plan = FaultPlan([
+            FaultEvent(at=5, kind="cpu_runaway", target="d"),
+            FaultEvent(at=1, kind="memory_leak", target="d"),
+        ])
+        assert [event.at for event in plan] == [1, 5]
+        plan.add(FaultEvent(at=3, kind="disk_filling", target="d"))
+        assert [event.at for event in plan] == [1, 3, 5]
+
+
+class TestAccounting:
+    def _report(self, label, host_units):
+        rows = [
+            HostUtilization(
+                name, "host",
+                units={ResourceKind.CPU: cpu, ResourceKind.NET: 0.0,
+                       ResourceKind.DISK: 0.0},
+                busy_time={ResourceKind.CPU: cpu / 10.0},
+                horizon=100.0,
+            )
+            for name, cpu in host_units.items()
+        ]
+        return UtilizationReport(label, rows, horizon=100.0, makespan=50.0)
+
+    def test_from_hosts_reads_ledgers(self):
+        sim = Simulator(seed=1)
+        network = Network(sim)
+        host = network.add_host("h", "site1", role="manager")
+        host.cpu.charge(30.0, "work")
+        host.disk.charge(10.0, "work")
+        report = UtilizationReport.from_hosts("r", [host], horizon=10.0)
+        row = report.host("h")
+        assert row.cpu_units == 30.0
+        assert row.disk_units == 10.0
+        assert row.utilization(ResourceKind.CPU) == pytest.approx(0.3)
+
+    def test_max_host_and_bottleneck(self):
+        report = self._report("r", {"a": 10.0, "b": 50.0, "c": 20.0})
+        assert report.max_host(ResourceKind.CPU) == ("b", 50.0)
+        assert report.bottleneck().host_name == "b"
+        assert report.total_units(ResourceKind.CPU) == 80.0
+
+    def test_balance_index_extremes(self):
+        even = self._report("even", {"a": 10.0, "b": 10.0})
+        skewed = self._report("skew", {"a": 20.0, "b": 0.0})
+        assert even.balance_index() == pytest.approx(1.0)
+        assert skewed.balance_index() == pytest.approx(0.5)
+        empty = self._report("none", {"a": 0.0})
+        assert empty.balance_index() == 1.0
+
+    def test_compare_reports_sorted_by_max_host(self):
+        reports = [
+            self._report("heavy", {"m": 100.0}),
+            self._report("light", {"x": 10.0, "y": 12.0}),
+        ]
+        comparison = compare_reports(reports)
+        assert [entry["label"] for entry in comparison] == ["light", "heavy"]
+
+    def test_unknown_host_raises(self):
+        report = self._report("r", {"a": 1.0})
+        with pytest.raises(KeyError):
+            report.host("ghost")
+
+    def test_render_contains_rows(self):
+        text = self._report("r", {"a": 1.0}).render()
+        assert "[r]" in text
+        assert "a" in text
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(("x", "long-header"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("x")
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_format_number(self):
+        assert format_number(None) == "-"
+        assert format_number(3) == "3"
+        assert format_number(3.0) == "3"
+        assert format_number(3.14159, digits=2) == "3.14"
