@@ -1,0 +1,220 @@
+"""K1 -- kernel microbenchmarks: the perf trajectory for the event loop.
+
+Every experiment in this reproduction (Figure 6, the crossover sweep, the
+X3 scalability bench) decomposes into millions of ``simkernel`` events, so
+the ROADMAP's "fast as the hardware allows" north star starts here.  This
+bench measures:
+
+* heap event throughput -- timer chains through the priority queue;
+* zero-delay throughput -- ``spawn`` / ``SimEvent.trigger`` style
+  same-instant callbacks (the kernel's fast lane);
+* process spawn/join throughput;
+* resource contention -- many processes hammering one FIFO resource;
+* an end-to-end Figure-6c (agent grid) wall-clock measurement.
+
+Results go to stdout, ``benchmarks/results/kernel.txt`` and -- machine
+readable -- ``benchmarks/results/BENCH_kernel.json`` so future PRs have a
+perf trajectory to compare against (see DESIGN.md "Performance").
+"""
+
+import os
+import time
+
+from repro.evaluation.export import bench_to_dict, dump_json
+from repro.evaluation.tables import format_table
+from repro.simkernel.resources import Resource, ResourceKind
+from repro.simkernel.simulator import Simulator
+
+from conftest import RESULTS_DIR, emit
+
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_kernel.json")
+
+SEED = 42
+ROUNDS = 3
+
+# Sized so each microbench takes O(100ms): slow enough to dominate timer
+# noise, fast enough for the CI smoke job.
+HEAP_EVENTS = 200_000
+ZERO_DELAY_EVENTS = 200_000
+PENDING_TIMERS = 10_000
+SPAWN_PROCESSES = 30_000
+CONTENTION_PROCESSES = 2_000
+CONTENTION_USES = 25
+
+_RESULTS = {}
+
+
+def _noop():
+    pass
+
+
+def _best_rate(work, count, rounds=ROUNDS):
+    """Run ``work`` (fresh state per round) and return best ops/sec."""
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        work()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return count / best, best
+
+
+def test_bench_heap_event_throughput():
+    """Timer chain with distinct future times: pure heap push/pop."""
+
+    def work():
+        sim = Simulator(seed=SEED)
+        remaining = [HEAP_EVENTS]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        assert remaining[0] == 0
+
+    rate, elapsed = _best_rate(work, HEAP_EVENTS)
+    _RESULTS["heap_events_per_sec"] = rate
+    print("heap events/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, HEAP_EVENTS))
+
+
+def test_bench_zero_delay_throughput():
+    """Same-instant callback chain: the spawn/trigger fast lane.
+
+    The chain runs against a heap populated with pending future timers
+    (``PENDING_TIMERS``), the realistic shape: in every experiment,
+    same-instant triggers and spawns interleave with thousands of
+    outstanding poll timers and timeouts.
+    """
+
+    def work():
+        sim = Simulator(seed=SEED)
+        for index in range(PENDING_TIMERS):
+            sim.schedule(1e9 + index, _noop)
+        remaining = [ZERO_DELAY_EVENTS]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(0.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=1.0)
+        assert remaining[0] == 0
+
+    rate, elapsed = _best_rate(work, ZERO_DELAY_EVENTS)
+    _RESULTS["zero_delay_events_per_sec"] = rate
+    print("zero-delay events/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, ZERO_DELAY_EVENTS))
+
+
+def test_bench_spawn_join_throughput():
+    """Spawn a swarm of one-sleep processes and join them all."""
+
+    def work():
+        sim = Simulator(seed=SEED)
+
+        def worker(delay):
+            yield delay
+            return delay
+
+        def parent():
+            children = [
+                sim.spawn(worker(0.001 * (index % 7)), name="w")
+                for index in range(SPAWN_PROCESSES)
+            ]
+            for child in children:
+                yield child
+
+        done = sim.spawn(parent())
+        sim.run()
+        assert done.done
+
+    rate, elapsed = _best_rate(work, SPAWN_PROCESSES)
+    _RESULTS["spawn_join_per_sec"] = rate
+    print("spawn+join/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, SPAWN_PROCESSES))
+
+
+def test_bench_resource_contention():
+    """Many processes queueing default-priority work on one resource."""
+    total_uses = CONTENTION_PROCESSES * CONTENTION_USES
+
+    def work():
+        sim = Simulator(seed=SEED)
+        cpu = Resource(sim, "cpu", ResourceKind.CPU, capacity=1000.0)
+
+        def hammer():
+            for _ in range(CONTENTION_USES):
+                yield cpu.use(1.0, label="hammer")
+
+        for _ in range(CONTENTION_PROCESSES):
+            sim.spawn(hammer(), name="hammer")
+        sim.run()
+        assert cpu.completed_requests == total_uses
+
+    rate, elapsed = _best_rate(work, total_uses)
+    _RESULTS["resource_uses_per_sec"] = rate
+    print("resource uses/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, total_uses))
+
+
+def test_bench_figure6c_wallclock():
+    """End-to-end wall clock for the paper's Figure-6c agent-grid run."""
+    from repro.baselines.driver import run_architecture
+    from repro.core.system import GridTopologySpec
+
+    best = None
+    for _ in range(ROUNDS):
+        spec = GridTopologySpec.paper_figure6c(seed=SEED,
+                                               dataset_threshold=30)
+        start = time.perf_counter()
+        result = run_architecture(spec, "grid", polls_per_type=10,
+                                  timeout=4000)
+        elapsed = time.perf_counter() - start
+        assert result.completed
+        if best is None or elapsed < best:
+            best = elapsed
+    _RESULTS["figure6c_wall_seconds"] = best
+    print("figure6c wall clock: %.3fs" % best)
+
+
+def test_bench_kernel_export():
+    """Render the summary table and write BENCH_kernel.json."""
+    expected = {
+        "heap_events_per_sec",
+        "zero_delay_events_per_sec",
+        "spawn_join_per_sec",
+        "resource_uses_per_sec",
+        "figure6c_wall_seconds",
+    }
+    missing = expected - set(_RESULTS)
+    assert not missing, "benches did not run: %s" % sorted(missing)
+
+    rows = [(name, "%.0f" % value if "per_sec" in name else "%.4f" % value)
+            for name, value in sorted(_RESULTS.items())]
+    text = format_table(
+        ("metric", "value"), rows,
+        title="Kernel microbenchmarks (higher events/sec = better)",
+    )
+    emit("kernel", text)
+
+    payload = bench_to_dict(
+        "kernel", _RESULTS,
+        context={
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "heap_events": HEAP_EVENTS,
+            "zero_delay_events": ZERO_DELAY_EVENTS,
+            "pending_timers": PENDING_TIMERS,
+            "spawn_processes": SPAWN_PROCESSES,
+            "contention_processes": CONTENTION_PROCESSES,
+            "contention_uses": CONTENTION_USES,
+        },
+    )
+    dump_json(payload, BENCH_PATH)
+    assert os.path.exists(BENCH_PATH)

@@ -79,6 +79,23 @@ def run_result_to_dict(result):
     }
 
 
+def bench_to_dict(name, metrics, context=None):
+    """A JSON-ready dict for a perf-bench artifact (``BENCH_<name>.json``).
+
+    ``metrics`` maps metric name to a number (events/sec, wall seconds...).
+    ``context`` carries run parameters (event counts, seeds) so a future
+    session can re-run the same measurement and compare trajectories.
+    """
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)):
+            raise TypeError(
+                "bench metric %r must be numeric, got %r" % (key, value))
+    payload = {"bench": name, "metrics": dict(metrics)}
+    if context is not None:
+        payload["context"] = dict(context)
+    return payload
+
+
 def dump_json(payload, path=None, indent=2):
     """Serialize to a JSON string, optionally writing it to ``path``."""
     text = json.dumps(payload, indent=indent, sort_keys=True)

@@ -9,8 +9,18 @@ Two kinds of "event" live here and they are deliberately distinct:
   (``yield event``) and that any code can *trigger* with a value.  This is
   the rendezvous primitive used for message queues, job completion and
   process joins.
+
+The queue has two lanes.  Future-time (or non-default-priority) events go
+through a binary heap as usual.  Same-instant default-priority events --
+``spawn``, ``SimEvent.trigger``, already-triggered ``add_waiter`` -- go
+through a plain FIFO deque instead, skipping the O(log n) heap entirely.
+Because fast-lane entries always carry the *current* simulated time and
+priority 0, and are appended in strictly increasing ``seq`` order, a single
+head-to-head comparison against the heap top reproduces the exact
+(time, priority, seq) global ordering the single-heap design had.
 """
 
+import collections
 import heapq
 import itertools
 
@@ -22,25 +32,38 @@ class ScheduledEvent:
     which keeps runs fully deterministic.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "queue")
 
-    def __init__(self, time, priority, seq, callback, args):
+    def __init__(self, time, priority, seq, callback, args, queue=None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.queue = queue
 
     def cancel(self):
         """Prevent the callback from firing (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self.queue
+            if queue is not None:
+                queue._live -= 1
+                self.queue = None
 
     def sort_key(self):
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other):
-        return self.sort_key() < other.sort_key()
+        # Inlined field comparisons: this runs on every heap sift, so the
+        # tuple allocation sort_key() would do per comparison is pure waste.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self):
         state = "cancelled" if self.cancelled else "pending"
@@ -50,41 +73,97 @@ class ScheduledEvent:
 class EventQueue:
     """A deterministic priority queue of :class:`ScheduledEvent`.
 
-    Cancelled events stay in the heap and are skipped on pop; this keeps
-    cancellation O(1) at the cost of occasional lazy cleanup.
+    Cancelled events stay in their lane and are skipped on pop; this keeps
+    cancellation O(1) at the cost of occasional lazy cleanup.  ``len`` is
+    O(1): a live count is incremented on push and decremented by both pop
+    and :meth:`ScheduledEvent.cancel`.
     """
 
     def __init__(self):
         self._heap = []
+        self._fast = collections.deque()
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self):
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(self, time, callback, args=(), priority=0):
         """Insert a callback to fire at absolute ``time``; returns the event."""
-        event = ScheduledEvent(time, priority, next(self._counter), callback, args)
+        event = ScheduledEvent(time, priority, next(self._counter), callback,
+                               args, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def push_fifo(self, time, callback, args=()):
+        """Fast-lane insert for a default-priority event at the current time.
+
+        The caller must guarantee ``time`` is the simulator's *current*
+        instant (no heap entry fires earlier than it): :meth:`pop` then only
+        needs one comparison against the heap head to keep the global
+        (time, priority, seq) order exact.
+        """
+        event = ScheduledEvent(time, 0, next(self._counter), callback, args,
+                               self)
+        self._fast.append(event)
+        self._live += 1
         return event
 
     def pop(self):
         """Remove and return the next non-cancelled event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
-        return None
+        fast = self._fast
+        while fast and fast[0].cancelled:
+            fast.popleft()
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if fast:
+            first = fast[0]
+            if heap:
+                head = heap[0]
+                if head.time < first.time or (
+                        head.time == first.time and (
+                            head.priority < first.priority or (
+                                head.priority == first.priority
+                                and head.seq < first.seq))):
+                    event = heapq.heappop(heap)
+                else:
+                    event = fast.popleft()
+            else:
+                event = fast.popleft()
+        elif heap:
+            event = heapq.heappop(heap)
+        else:
+            return None
+        self._live -= 1
+        event.queue = None
+        return event
 
     def peek_time(self):
         """Time of the next live event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        fast = self._fast
+        while fast and fast[0].cancelled:
+            fast.popleft()
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if fast:
+            if heap and heap[0].time < fast[0].time:
+                return heap[0].time
+            return fast[0].time
+        if heap:
+            return heap[0].time
         return None
 
     def clear(self):
+        for event in self._heap:
+            event.queue = None
+        for event in self._fast:
+            event.queue = None
         self._heap = []
+        self._fast.clear()
+        self._live = 0
 
 
 class SimEvent:
@@ -115,13 +194,14 @@ class SimEvent:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
+        schedule_now = self.sim._schedule_now
         for callback in waiters:
-            self.sim.schedule(0.0, callback, (value,))
+            schedule_now(callback, (value,))
 
     def add_waiter(self, callback):
         """Register ``callback(value)``; called now if already triggered."""
         if self.triggered:
-            self.sim.schedule(0.0, callback, (self.value,))
+            self.sim._schedule_now(callback, (self.value,))
         else:
             self._waiters.append(callback)
 

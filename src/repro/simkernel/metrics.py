@@ -12,6 +12,8 @@ import math
 class Counter:
     """A monotonically increasing counter."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name):
         self.name = name
         self.value = 0.0
@@ -27,6 +29,8 @@ class Counter:
 
 class Gauge:
     """A value that can move in both directions."""
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name, value=0.0):
         self.name = name
@@ -44,6 +48,8 @@ class Gauge:
 
 class TimeSeries:
     """An append-only series of ``(time, value)`` observations."""
+
+    __slots__ = ("name", "points")
 
     def __init__(self, name):
         self.name = name
@@ -119,6 +125,8 @@ class TimeSeries:
 
 class MetricRegistry:
     """Namespaced factory/lookup for counters, gauges and series."""
+
+    __slots__ = ("_counters", "_gauges", "_series")
 
     def __init__(self):
         self._counters = {}

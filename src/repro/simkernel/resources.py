@@ -88,7 +88,13 @@ class Resource:
         self.total_units = 0.0
         self.units_by_label = collections.Counter()
         self.completed_requests = 0
-        self._queue = []
+        # Fast path: all real workloads enqueue at the default priority 0,
+        # so waiting requests live in a plain FIFO deque (no per-request
+        # tuple, no seq, no heap sift).  The first non-zero priority seen
+        # migrates the queue into a heap and the resource stays in heap
+        # mode from then on.
+        self._fifo = collections.deque()
+        self._heap = None
         self._seq = itertools.count()
         self._serving = None
 
@@ -101,7 +107,9 @@ class Resource:
     @property
     def queue_length(self):
         """Requests waiting (not counting the one in service)."""
-        return len(self._queue)
+        if self._heap is not None:
+            return len(self._heap)
+        return len(self._fifo)
 
     @property
     def busy(self):
@@ -139,26 +147,48 @@ class Resource:
     def _enqueue(self, process, request):
         request.process = process
         request.enqueued_at = self.sim.now
-        heapq.heappush(self._queue, (request.priority, next(self._seq), request))
+        if self._heap is None:
+            if request.priority == 0:
+                self._fifo.append(request)
+                self._try_start()
+                return
+            # First non-default priority: migrate the FIFO into a heap,
+            # preserving arrival order via fresh monotonic seqs.
+            self._heap = []
+            for queued in self._fifo:
+                self._heap.append((queued.priority, next(self._seq), queued))
+            self._fifo.clear()
+        heapq.heappush(self._heap, (request.priority, next(self._seq), request))
         self._try_start()
 
     def _abandon(self, request):
-        """Mark a queued request abandoned (its process was detached)."""
+        """Mark a request abandoned (its process was detached).
+
+        Abandoned requests are lazily skipped when they reach the head of
+        the queue.  If the request is *in service*, the server stays
+        occupied until the already-scheduled completion fires -- clearing
+        ``_serving`` here would let a later arrival start a second service
+        while the abandoned one's ``_complete`` is still pending, briefly
+        double-serving the single-server resource.
+        """
         request.abandoned = True
-        if self._serving is request:
-            # Service completes but resumes nobody; ledger already charged.
-            self._serving = None
-            # Note: the completion callback checks `abandoned`.
 
     def _try_start(self):
         if self._serving is not None:
             return
-        while self._queue:
-            _, _, request = heapq.heappop(self._queue)
-            if request.abandoned:
-                continue
-            self._start(request)
-            return
+        fifo = self._fifo
+        while fifo:
+            request = fifo.popleft()
+            if not request.abandoned:
+                self._start(request)
+                return
+        heap = self._heap
+        if heap:
+            while heap:
+                request = heapq.heappop(heap)[2]
+                if not request.abandoned:
+                    self._start(request)
+                    return
 
     def _start(self, request):
         self._serving = request

@@ -68,6 +68,9 @@ class Process:
         self._pending_wait = None  # (SimEvent, callback) while blocked on one
         self._pending_timer = None  # ScheduledEvent while sleeping
         self._pending_use = None  # Use while queued/served on a resource
+        # A process waits on at most one thing at a time, so a single
+        # resumer can be reused for every event wait / join it ever makes.
+        self._resumer = _Resumer(sim, self)
 
     # -- public API ----------------------------------------------------
 
@@ -150,9 +153,17 @@ class Simulator:
 
     def schedule(self, delay, callback, args=(), priority=0):
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay == 0 and priority == 0:
+            # Zero-delay lane: same-instant default-priority callbacks skip
+            # the heap entirely (see EventQueue.push_fifo).
+            return self.queue.push_fifo(self.now, callback, args)
         if delay < 0:
             raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
         return self.queue.push(self.now + delay, callback, args, priority)
+
+    def _schedule_now(self, callback, args=()):
+        """Internal zero-delay schedule used on the kernel's hot paths."""
+        return self.queue.push_fifo(self.now, callback, args)
 
     def event(self, name=""):
         """Create a fresh :class:`SimEvent` bound to this simulator."""
@@ -176,7 +187,7 @@ class Simulator:
             name = "%s#%d" % (name, count)
         process = Process(self, generator, name)
         self.processes.append(process)
-        self.schedule(0.0, self._step, (process, None, None), priority=0)
+        self._schedule_now(self._step, (process, None, None))
         return process
 
     def _step(self, process, send=None, throw=None):
@@ -212,14 +223,14 @@ class Simulator:
                 item, self._step, (process, None, None)
             )
         elif isinstance(item, SimEvent):
-            callback = _Resumer(self, process)
+            callback = process._resumer
             process._pending_wait = (item, callback)
             item.add_waiter(callback)
         elif isinstance(item, Use):
             process._pending_use = item
             item.resource._enqueue(process, item)
         elif isinstance(item, Process):
-            callback = _Resumer(self, process)
+            callback = process._resumer
             process._pending_wait = (item.completion, callback)
             item.completion.add_waiter(callback)
         else:
@@ -236,25 +247,32 @@ class Simulator:
         Returns the simulated time at which the run stopped.
         """
         executed = 0
+        queue = self.queue
+        pop = queue.pop
+        bounded = until is not None or max_events is not None
+        hooks = self._trace_hooks
         while True:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                break
-            if max_events is not None and executed >= max_events:
-                break
-            event = self.queue.pop()
+            if bounded:
+                if until is not None:
+                    next_time = queue.peek_time()
+                    if next_time is None:
+                        break
+                    if next_time > until:
+                        self.now = until
+                        break
+                if max_events is not None and executed >= max_events:
+                    break
+                executed += 1
+            event = pop()
             if event is None:
                 break
             if event.time < self.now - 1e-12:
                 raise SimulationError("time went backwards")
             self.now = event.time
-            for hook in self._trace_hooks:
-                hook(self.now, event)
+            if hooks:
+                for hook in hooks:
+                    hook(self.now, event)
             event.callback(*event.args)
-            executed += 1
         return self.now
 
     def add_trace_hook(self, hook):

@@ -1,0 +1,158 @@
+"""Property-based determinism guarantees for the kernel fast paths.
+
+The zero-delay FIFO lane and the resource FIFO fast path are pure
+optimisations: they must never change the global (time, priority, seq)
+event ordering or the resource ledgers.  Two safety nets live here:
+
+* the event queue is checked, operation by operation, against a naive
+  reference model (a sorted list) over random push / fast-push / cancel /
+  pop interleavings;
+* random full-simulator scenarios -- sleeps, event waits, resource uses
+  (mixed priorities), kills and interrupts -- are run twice and must
+  produce identical event traces, ledgers and process outcomes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.events import EventQueue
+from repro.simkernel.resources import Resource, ResourceKind
+from repro.simkernel.simulator import Simulator
+
+# -- queue vs reference model -------------------------------------------------
+
+QUEUE_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "push_fifo", "cancel", "pop"]),
+        st.integers(0, 4),      # delay
+        st.integers(-2, 2),     # priority
+        st.integers(0, 10_000),  # handle selector for cancel
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=QUEUE_OPS)
+def test_event_queue_matches_reference_model(ops):
+    queue = EventQueue()
+    now = 0.0
+    # model rows: [event, time, priority, seq, state]
+    LIVE, CANCELLED, FIRED = "live", "cancelled", "fired"
+    rows = []
+    seq = 0
+
+    def live_rows():
+        return [row for row in rows if row[4] == LIVE]
+
+    for op, delay, priority, pick in ops:
+        if op == "push":
+            event = queue.push(now + delay, lambda: None, (), priority)
+            rows.append([event, now + delay, priority, seq, LIVE])
+            seq += 1
+        elif op == "push_fifo":
+            # contract: fast-lane entries carry the current instant
+            event = queue.push_fifo(now, lambda: None)
+            rows.append([event, now, 0, seq, LIVE])
+            seq += 1
+        elif op == "cancel":
+            if rows:
+                row = rows[pick % len(rows)]
+                row[0].cancel()
+                if row[4] == LIVE:
+                    row[4] = CANCELLED
+        else:  # pop
+            expected = min(
+                live_rows(), key=lambda row: (row[1], row[2], row[3]),
+                default=None)
+            popped = queue.pop()
+            if expected is None:
+                assert popped is None
+            else:
+                assert popped is expected[0]
+                expected[4] = FIRED
+                now = expected[1]
+        live = live_rows()
+        assert len(queue) == len(live)
+        expected_time = min((row[1] for row in live), default=None)
+        assert queue.peek_time() == expected_time
+
+    # drain: the remaining pops must come out in exact sorted order
+    expected_order = [row[0] for row in sorted(
+        live_rows(), key=lambda row: (row[1], row[2], row[3]))]
+    drained = []
+    while (event := queue.pop()) is not None:
+        drained.append(event)
+    assert drained == expected_order
+
+
+# -- full-simulator equivalence ----------------------------------------------
+
+ACTION = st.tuples(
+    st.sampled_from(["sleep", "use", "wait", "trigger"]),
+    st.integers(0, 3),
+    st.integers(0, 4),
+)
+SCRIPTS = st.lists(st.lists(ACTION, max_size=6), min_size=1, max_size=6)
+KILLS = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 7), st.booleans()),
+    max_size=4,
+)
+
+
+def _run_scenario(scripts, kills):
+    sim = Simulator(seed=7, swallow_process_errors=True)
+    cpu = Resource(sim, "cpu", ResourceKind.CPU, capacity=3.0)
+    net = Resource(sim, "net", ResourceKind.NET, capacity=1.5)
+    events = [sim.event("e%d" % index) for index in range(5)]
+    trace = []
+    sim.add_trace_hook(
+        lambda now, event: trace.append((now, event.priority, event.seq)))
+
+    def runner(script):
+        for kind, a, b in script:
+            if kind == "sleep":
+                yield a * 0.25
+            elif kind == "use":
+                resource = cpu if b % 2 else net
+                # priorities -2..2 exercise the FIFO->heap migration
+                yield resource.use(1.0 + a, label="l%d" % (a % 3),
+                                   priority=b - 2)
+            elif kind == "wait":
+                yield events[b % len(events)]
+            elif kind == "trigger":
+                event = events[b % len(events)]
+                if not event.triggered:
+                    event.trigger(a)
+
+    processes = [
+        sim.spawn(runner(script), name="p%d" % index)
+        for index, script in enumerate(scripts)
+    ]
+
+    def killer(delay, index, use_interrupt):
+        yield delay * 0.3
+        target = processes[index % len(processes)]
+        if use_interrupt:
+            target.interrupt("stop")
+        else:
+            target.kill()
+
+    for index, (delay, target, use_interrupt) in enumerate(kills):
+        sim.spawn(killer(delay, target, use_interrupt), name="k%d" % index)
+
+    sim.run(until=1000.0)
+    return (
+        trace,
+        cpu.snapshot(),
+        net.snapshot(),
+        [(process.done, process.result) for process in processes],
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts=SCRIPTS, kills=KILLS)
+def test_repeated_runs_are_identical(scripts, kills):
+    first = _run_scenario(scripts, kills)
+    second = _run_scenario(scripts, kills)
+    assert first == second

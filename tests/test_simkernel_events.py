@@ -66,6 +66,61 @@ class TestEventQueue:
         assert EventQueue().pop() is None
         assert EventQueue().peek_time() is None
 
+    def test_len_is_live_count_across_lanes(self):
+        queue = EventQueue()
+        heap_event = queue.push(1.0, lambda: None)
+        fast_event = queue.push_fifo(0.0, lambda: None)
+        assert len(queue) == 2
+        fast_event.cancel()
+        assert len(queue) == 1
+        fast_event.cancel()  # idempotent: no double decrement
+        assert len(queue) == 1
+        assert queue.pop() is heap_event
+        assert len(queue) == 0
+        heap_event.cancel()  # cancelling an already-fired event is a no-op
+        assert len(queue) == 0
+
+    def test_fifo_lane_preserves_global_seq_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(0.0, order.append, ("heap-first",))
+        queue.push_fifo(0.0, order.append, ("fifo",))
+        queue.push(0.0, order.append, ("heap-second",))
+        while (event := queue.pop()) is not None:
+            event.callback(*event.args)
+        assert order == ["heap-first", "fifo", "heap-second"]
+
+    def test_fifo_lane_yields_to_negative_priority(self):
+        queue = EventQueue()
+        order = []
+        queue.push_fifo(0.0, order.append, ("fifo",))
+        queue.push(0.0, order.append, ("urgent",), priority=-1)
+        queue.push(0.0, order.append, ("lazy",), priority=1)
+        while (event := queue.pop()) is not None:
+            event.callback(*event.args)
+        assert order == ["urgent", "fifo", "lazy"]
+
+    def test_fifo_lane_cancellation_skipped_on_pop(self):
+        queue = EventQueue()
+        fired = []
+        dropped = queue.push_fifo(0.0, fired.append, ("dropped",))
+        queue.push_fifo(0.0, fired.append, ("kept",))
+        dropped.cancel()
+        assert queue.peek_time() == 0.0
+        while (event := queue.pop()) is not None:
+            event.callback(*event.args)
+        assert fired == ["kept"]
+
+    def test_clear_resets_both_lanes(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push_fifo(0.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+        handle.cancel()  # detached handle must not corrupt the count
+        assert len(queue) == 0
+
 
 class TestSimEvent:
     def test_trigger_delivers_value_to_waiter(self):

@@ -163,3 +163,69 @@ def test_queue_length_visible_while_busy(sim, cpu):
     sim.spawn(observer())
     sim.run()
     assert lengths == [1, True]
+
+
+def test_abandoned_in_service_keeps_server_occupied(sim, cpu):
+    """Killing the served process must not free the server early.
+
+    The killed request's completion is still scheduled; starting a new
+    request before it fires would briefly double-serve the single-server
+    resource and undercount contention.
+    """
+    starts = {}
+
+    def victim():
+        yield cpu.use(10.0)  # 1.0s of service at capacity 10
+
+    def late_arrival():
+        yield 0.6  # enqueues after the kill, before the old completion
+        request = yield cpu.use(10.0)
+        starts["late"] = request.started_at
+
+    victim_process = sim.spawn(victim())
+    sim.spawn(late_arrival())
+    sim.schedule(0.5, victim_process.kill)
+    sim.run()
+    assert starts["late"] == 1.0
+    assert cpu.completed_requests == 1
+    assert cpu.total_units == 10.0
+
+
+def test_abandoned_in_service_still_reports_busy(sim, cpu):
+    observations = []
+
+    def victim():
+        yield cpu.use(10.0)
+
+    def observer():
+        yield 0.7
+        observations.append(cpu.busy)
+
+    victim_process = sim.spawn(victim())
+    sim.spawn(observer())
+    sim.schedule(0.5, victim_process.kill)
+    sim.run()
+    # at t=0.7 the abandoned request's completion (t=1.0) has not fired yet
+    assert observations == [True]
+    assert not cpu.busy
+
+
+def test_priority_request_after_fifo_queue_still_ordered(sim, cpu):
+    """The FIFO fast path must hand over cleanly to the priority heap."""
+    order = []
+
+    def proc(tag, priority):
+        yield cpu.use(10.0, priority=priority)
+        order.append(tag)
+
+    def spawn_all():
+        sim.spawn(proc("head", 0))
+        sim.spawn(proc("fifo-a", 0))
+        sim.spawn(proc("fifo-b", 0))
+        sim.spawn(proc("urgent", -3))
+        sim.spawn(proc("lazy", 7))
+        yield 0.0
+
+    sim.spawn(spawn_all())
+    sim.run()
+    assert order == ["head", "urgent", "fifo-a", "fifo-b", "lazy"]

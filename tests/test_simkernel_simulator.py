@@ -46,6 +46,28 @@ class TestScheduling:
         sim.run(max_events=3)
         assert fired == [0, 1, 2]
 
+    def test_repr_pending_counts_only_live_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        dropped = sim.schedule(2.0, lambda: None)
+        dropped.cancel()
+        assert "pending=1" in repr(sim)
+
+    def test_zero_delay_interleaves_with_same_time_heap_events(self):
+        # an event fired at t=1 that schedules 0-delay work must not jump
+        # ahead of an already-queued same-time event
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, order.append, ("zero-delay",))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, order.append, ("second",))
+        sim.run()
+        assert order == ["first", "second", "zero-delay"]
+
     def test_trace_hook_sees_every_event(self):
         sim = Simulator()
         seen = []
