@@ -1,0 +1,71 @@
+"""Fail when key benchmark metrics regress versus a committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        --baseline baseline.json --current benchmarks/results/BENCH_kernel.json \
+        --keys zero_delay_events_per_sec transport_msgs_per_sec \
+        --tolerance 0.20
+
+The baseline is typically the committed ``BENCH_kernel.json`` (extracted
+in CI via ``git show``); the current file is the one the bench job just
+wrote.  All compared keys are higher-is-better rates: the check fails when
+``current < (1 - tolerance) * baseline``.  Keys missing from the baseline
+are skipped (first run after a metric is introduced); keys missing from
+the current run fail.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    return payload.get("metrics", payload)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed benchmark JSON (the reference)")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--keys", nargs="+", required=True,
+                        help="higher-is-better metric keys to compare")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    failures = []
+    for key in args.keys:
+        reference = baseline.get(key)
+        if reference is None:
+            print("perf-check: %s not in baseline, skipping" % key)
+            continue
+        value = current.get(key)
+        if value is None:
+            failures.append("%s missing from current results" % key)
+            continue
+        floor = (1.0 - args.tolerance) * reference
+        verdict = "OK" if value >= floor else "REGRESSED"
+        print("perf-check: %s  baseline=%.0f  current=%.0f  floor=%.0f  %s"
+              % (key, reference, value, floor, verdict))
+        if value < floor:
+            failures.append(
+                "%s regressed: %.0f < %.0f (baseline %.0f, tolerance %d%%)"
+                % (key, value, floor, reference, args.tolerance * 100)
+            )
+    if failures:
+        for failure in failures:
+            print("perf-check: FAIL - %s" % failure, file=sys.stderr)
+        return 1
+    print("perf-check: all compared metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

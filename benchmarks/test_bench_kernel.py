@@ -22,6 +22,9 @@ import time
 
 from repro.evaluation.export import bench_to_dict, dump_json
 from repro.evaluation.tables import format_table
+from repro.network.addressing import Address
+from repro.network.topology import Network
+from repro.network.transport import Message, Transport
 from repro.simkernel.resources import Resource, ResourceKind
 from repro.simkernel.simulator import Simulator
 
@@ -40,6 +43,14 @@ PENDING_TIMERS = 10_000
 SPAWN_PROCESSES = 30_000
 CONTENTION_PROCESSES = 2_000
 CONTENTION_USES = 25
+TRANSPORT_MESSAGES = 100_000
+TRANSPORT_BURST = 50  # same-instant same-flow messages per burst
+# X3 big-topology configuration: 500 managed devices, 32 management hosts
+# (16 collectors + 14 analyzers + storage + interface).
+BIGTOPO_DEVICES = 500
+BIGTOPO_REQUESTS_PER_TYPE = 25
+BIGTOPO_COLLECTORS = 16
+BIGTOPO_ANALYZERS = 14
 
 _RESULTS = {}
 
@@ -163,6 +174,73 @@ def test_bench_resource_contention():
           (rate, elapsed, total_uses))
 
 
+def _transport_work(coalesce):
+    """Burst delivery: TRANSPORT_BURST same-flow messages per instant."""
+
+    def work():
+        sim = Simulator(seed=SEED)
+        network = Network(sim)
+        network.add_host("src", "site1")
+        network.add_host("dst", "site1")
+        network.host("dst").bind("in", lambda message: None)
+        transport = Transport(network, coalesce=coalesce)
+        source = Address("src", "out")
+        sink = Address("dst", "in")
+        post = transport.post
+
+        def driver():
+            for _ in range(TRANSPORT_MESSAGES // TRANSPORT_BURST):
+                for _ in range(TRANSPORT_BURST):
+                    post(Message(source, sink, None, 1.0))
+                yield 1000.0  # let the NIC drain before the next burst
+
+        sim.spawn(driver())
+        sim.run()
+        assert transport.messages_delivered == TRANSPORT_MESSAGES
+
+    return work
+
+
+def test_bench_transport_batched():
+    """Coalescing lane: one wire batch per same-destination burst."""
+    rate, elapsed = _best_rate(_transport_work(coalesce=True),
+                               TRANSPORT_MESSAGES)
+    _RESULTS["transport_msgs_per_sec"] = rate
+    print("transport batched msgs/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, TRANSPORT_MESSAGES))
+
+
+def test_bench_transport_unbatched():
+    """The per-message pipeline (coalesce=False): the A/B baseline."""
+    rate, elapsed = _best_rate(_transport_work(coalesce=False),
+                               TRANSPORT_MESSAGES)
+    _RESULTS["transport_unbatched_msgs_per_sec"] = rate
+    print("transport unbatched msgs/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, TRANSPORT_MESSAGES))
+
+
+def test_bench_bigtopo_wallclock():
+    """X3 big topology: 500 devices on a 32-host grid, end to end."""
+    from repro.evaluation.experiments import run_scenario_on_grid
+    from repro.workloads.scenarios import scaling_scenario
+
+    scenario = scaling_scenario(BIGTOPO_DEVICES, BIGTOPO_REQUESTS_PER_TYPE)
+    start = time.perf_counter()
+    result = run_scenario_on_grid(
+        scenario, seed=SEED, timeout=8000,
+        collector_count=BIGTOPO_COLLECTORS, analyzer_count=BIGTOPO_ANALYZERS,
+        dataset_threshold=scenario.total_requests,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.completed
+    assert len(result.system.management_hosts()) == 32
+    _RESULTS["bigtopo_wall_seconds"] = elapsed
+    _RESULTS["bigtopo_sim_seconds_per_wall_second"] = result.makespan / elapsed
+    print("bigtopo wall clock: %.3fs (makespan %.1fs, %d messages)" %
+          (elapsed, result.makespan,
+           result.system.transport.stats()["sent"]))
+
+
 def test_bench_figure6c_wallclock():
     """End-to-end wall clock for the paper's Figure-6c agent-grid run."""
     from repro.baselines.driver import run_architecture
@@ -190,10 +268,18 @@ def test_bench_kernel_export():
         "zero_delay_events_per_sec",
         "spawn_join_per_sec",
         "resource_uses_per_sec",
+        "transport_msgs_per_sec",
+        "transport_unbatched_msgs_per_sec",
+        "bigtopo_wall_seconds",
+        "bigtopo_sim_seconds_per_wall_second",
         "figure6c_wall_seconds",
     }
     missing = expected - set(_RESULTS)
     assert not missing, "benches did not run: %s" % sorted(missing)
+    # the tentpole claim: batched same-destination traffic is >=2x the
+    # per-message pipeline
+    assert (_RESULTS["transport_msgs_per_sec"]
+            >= 2.0 * _RESULTS["transport_unbatched_msgs_per_sec"])
 
     rows = [(name, "%.0f" % value if "per_sec" in name else "%.4f" % value)
             for name, value in sorted(_RESULTS.items())]
@@ -214,6 +300,12 @@ def test_bench_kernel_export():
             "spawn_processes": SPAWN_PROCESSES,
             "contention_processes": CONTENTION_PROCESSES,
             "contention_uses": CONTENTION_USES,
+            "transport_messages": TRANSPORT_MESSAGES,
+            "transport_burst": TRANSPORT_BURST,
+            "bigtopo_devices": BIGTOPO_DEVICES,
+            "bigtopo_requests_per_type": BIGTOPO_REQUESTS_PER_TYPE,
+            "bigtopo_collectors": BIGTOPO_COLLECTORS,
+            "bigtopo_analyzers": BIGTOPO_ANALYZERS,
         },
     )
     dump_json(payload, BENCH_PATH)

@@ -113,6 +113,16 @@ class Agent:
         self.messages_sent += 1
         self.platform.send(message)
 
+    def send_batch(self, messages):
+        """Hand several messages to the MTS at once.
+
+        Same-destination-host wire messages are shipped as one aggregate
+        transfer (see :meth:`AgentPlatform.send_batch`).
+        """
+        messages = list(messages)
+        self.messages_sent += len(messages)
+        self.platform.send_batch(messages)
+
     def reply_to(self, message, performative, content=None, size_units=None):
         """Build and send a reply to ``message``."""
         reply = message.make_reply(performative, content, size_units)

@@ -98,12 +98,31 @@ class AgentPlatform:
 
     def send(self, acl_message):
         """Route an ACL message to its receiver (fire-and-forget)."""
+        wire = self._route(acl_message)
+        if wire is not None:
+            self.transport.post(wire)
+
+    def send_batch(self, acl_messages):
+        """Route several ACL messages at once.
+
+        Local deliveries still happen one-by-one (memory handoff is already
+        free), but wire-bound messages to the same destination host travel
+        as one aggregate transfer via :meth:`Transport.post_batch` -- the
+        paper's batch shipping made real at the MTS layer.
+        """
+        wires = [wire for wire in map(self._route, acl_messages)
+                 if wire is not None]
+        if wires:
+            self.transport.post_batch(wires)
+
+    def _route(self, acl_message):
+        """Shared routing: deliver locally or return the wire message."""
         acl_message.sent_at = self.sim.now
         receiver = self.agent(acl_message.receiver)
         if receiver is None or receiver.container is None:
             self._bounce(acl_message, "unknown or undeployed agent %s"
                          % acl_message.receiver)
-            return
+            return None
         sender = self.agent(acl_message.sender)
         sender_host = sender.container.host if sender and sender.container else None
         dest_host = receiver.container.host
@@ -111,15 +130,14 @@ class AgentPlatform:
         if sender_host is dest_host or sender_host is None:
             # Intra-host (or platform-origin): direct delivery, no NIC cost.
             self.sim.schedule(0.0, self._deliver_local, (acl_message,))
-            return
-        wire = Message(
+            return None
+        return Message(
             sender=self.transport.address(sender_host.name, self.ACL_PORT),
             dest=self.transport.address(dest_host.name, self.ACL_PORT),
             payload=acl_message,
             size_units=acl_message.size_units,
             protocol="acl",
         )
-        self.transport.send(wire)
 
     def _deliver_local(self, acl_message):
         receiver = self.agent(acl_message.receiver)

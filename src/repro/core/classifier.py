@@ -122,9 +122,10 @@ class ClassifierAgent(Agent):
 
     def _classify_batch(self, records):
         parsed_records = []
+        parse_costs = self.cost_model.parse_costs
         for record in records:
             if not record.parsed:
-                parse_cost = self.cost_model.parse_cost(record.request_type)
+                parse_cost = parse_costs[record.request_type]
                 if parse_cost.cpu:
                     yield self.cpu.use(parse_cost.cpu, label=TaskKind.PARSE)
                 record = record.parse(self.cost_model.parsed_record_size)
@@ -206,14 +207,16 @@ class ClassifierAgent(Agent):
             cluster_sizes=dict(self._open_cluster_counts),
             storage_host=self.store.host.name,
         )
-        self.send(ACLMessage(
+        # Notify fan-out rides the batched MTS lane (aggregate transfer
+        # when several notifies leave for the same host in one instant).
+        self.send_batch([ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.processor_name,
             content=dict(content),
             ontology=DATA_READY.name,
             size_units=self.cost_model.notify_size,
-        ))
+        )])
         self.datasets_published += 1
         self._open_dataset = None
         self._open_count = 0

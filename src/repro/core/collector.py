@@ -152,14 +152,16 @@ class CollectorAgent(Agent):
             return
         payload_units = sum(record.size_units for record in records)
         wire_units = self.protocol.size(payload_units)
-        self.send(ACLMessage(
+        # Batched shipping lane: envelopes shipped in the same instant to
+        # the same classifier host travel as one aggregate wire transfer.
+        self.send_batch([ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.classifier_name,
             content={"op": "classify-batch", "records": records},
             ontology="collected-batch",
             size_units=wire_units,
-        ))
+        )])
         self.records_shipped += len(records)
 
     def _buffer_and_ship(self, record, force=False):

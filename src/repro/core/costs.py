@@ -143,6 +143,29 @@ class CostModel:
         self.cross_reply_size = 0.9 * cross_net
         self.notify_size = 0.2
         self.report_size = 2.0
+        # Per-kind lookup caches: the pipeline charges a cost per record,
+        # so the (kind, request_type) -> TaskCost resolution (key
+        # normalization, tuple build, dict probe, error wrap) dominates the
+        # charge path at scale.  The table is immutable after construction
+        # (derived models build a fresh CostModel), so the entries are
+        # resolved once here and call sites index plain dicts.
+        self.request_costs = self._kind_cache(TaskKind.REQUEST)
+        self.parse_costs = self._kind_cache(TaskKind.PARSE)
+        self.infer_costs = self._kind_cache(TaskKind.INFER)
+        self.store_cost_entry = self._table.get((TaskKind.STORE, None))
+        self.cross_cost_entry = self._table.get((TaskKind.INFER_CROSS, None))
+        self._flat = {}
+        for (kind, rtype), entry in self._table.items():
+            self._flat[(kind, rtype)] = entry
+            if rtype is None:
+                self._flat[kind] = entry
+
+    def _kind_cache(self, kind):
+        return {
+            rtype: entry
+            for (entry_kind, rtype), entry in self._table.items()
+            if entry_kind == kind
+        }
 
     # -- lookups --------------------------------------------------------
 
@@ -159,20 +182,48 @@ class CostModel:
                 "no cost for task %r / request type %r" % (kind, request_type)
             ) from None
 
+    def cost_cached(self, kind, request_type=None):
+        """Fast-path :meth:`cost`: one dict probe, no key normalization.
+
+        STORE / INFER_CROSS resolve regardless of ``request_type`` (same
+        tolerance as :meth:`cost`); unknown entries fall back to
+        :meth:`cost` for its descriptive KeyError.
+        """
+        entry = self._flat.get((kind, request_type))
+        if entry is not None:
+            return entry
+        entry = self._flat.get(kind)
+        if entry is not None:
+            return entry
+        return self.cost(kind, request_type)
+
     def request_cost(self, request_type):
-        return self.cost(TaskKind.REQUEST, request_type)
+        entry = self.request_costs.get(request_type)
+        if entry is None:
+            return self.cost(TaskKind.REQUEST, request_type)
+        return entry
 
     def parse_cost(self, request_type):
-        return self.cost(TaskKind.PARSE, request_type)
+        entry = self.parse_costs.get(request_type)
+        if entry is None:
+            return self.cost(TaskKind.PARSE, request_type)
+        return entry
 
     def store_cost(self):
-        return self.cost(TaskKind.STORE)
+        if self.store_cost_entry is None:
+            return self.cost(TaskKind.STORE)
+        return self.store_cost_entry
 
     def infer_cost(self, request_type):
-        return self.cost(TaskKind.INFER, request_type)
+        entry = self.infer_costs.get(request_type)
+        if entry is None:
+            return self.cost(TaskKind.INFER, request_type)
+        return entry
 
     def cross_cost(self):
-        return self.cost(TaskKind.INFER_CROSS)
+        if self.cross_cost_entry is None:
+            return self.cost(TaskKind.INFER_CROSS)
+        return self.cross_cost_entry
 
     def for_group(self, group):
         """Request type letter for a metric group ("performance" -> "A")."""

@@ -621,8 +621,9 @@ class AnalyzerAgent(Agent):
             return [], 0
         records = fetched["records"]
         baselines = fetched["baselines"]
+        infer_costs = self.cost_model.infer_costs
         for record in records:
-            infer_cost = self.cost_model.infer_cost(record.request_type)
+            infer_cost = infer_costs[record.request_type]
             if infer_cost.cpu:
                 yield self.cpu.use(infer_cost.cpu, label=TaskKind.INFER)
         memory = WorkingMemory(clock=lambda: self.sim.now)

@@ -43,6 +43,8 @@ class Use:
         "wait_time",
         "service_time",
         "abandoned",
+        "on_start",
+        "on_complete",
     )
 
     def __init__(self, resource, units, label, priority):
@@ -56,6 +58,8 @@ class Use:
         self.wait_time = None
         self.service_time = None
         self.abandoned = False
+        self.on_start = None
+        self.on_complete = None
 
     def __repr__(self):
         return "Use(%s, units=%g, label=%r)" % (
@@ -129,6 +133,28 @@ class Resource:
             raise ValueError("units must be >= 0, got %r" % units)
         return Use(self, float(units), label, priority)
 
+    def acquire(self, units, label="work", priority=0, on_start=None, on_complete=None):
+        """Queue a request driven by callbacks instead of a process.
+
+        The request joins the same FIFO/priority queue as yielded
+        :class:`Use` requests and is served identically; ``on_start`` fires
+        when service begins and ``on_complete`` when it ends, each receiving
+        the request.  This lets engine-style callers (the batched transport)
+        occupy the server without spawning a process per request.
+        """
+        if units < 0:
+            raise ValueError("units must be >= 0, got %r" % units)
+        request = Use(self, float(units), label, priority)
+        request.on_start = on_start
+        request.on_complete = on_complete
+        request.enqueued_at = self.sim.now
+        if self._heap is None and priority == 0:
+            self._fifo.append(request)
+        else:
+            self._enqueue_slow(request)
+        self._try_start()
+        return request
+
     def charge(self, units, label="direct"):
         """Account units without occupying the server.
 
@@ -147,11 +173,14 @@ class Resource:
     def _enqueue(self, process, request):
         request.process = process
         request.enqueued_at = self.sim.now
+        if self._heap is None and request.priority == 0:
+            self._fifo.append(request)
+        else:
+            self._enqueue_slow(request)
+        self._try_start()
+
+    def _enqueue_slow(self, request):
         if self._heap is None:
-            if request.priority == 0:
-                self._fifo.append(request)
-                self._try_start()
-                return
             # First non-default priority: migrate the FIFO into a heap,
             # preserving arrival order via fresh monotonic seqs.
             self._heap = []
@@ -159,7 +188,6 @@ class Resource:
                 self._heap.append((queued.priority, next(self._seq), queued))
             self._fifo.clear()
         heapq.heappush(self._heap, (request.priority, next(self._seq), request))
-        self._try_start()
 
     def _abandon(self, request):
         """Mark a request abandoned (its process was detached).
@@ -197,6 +225,8 @@ class Resource:
         duration = request.units / self.capacity
         request.service_time = duration
         self.sim.schedule(duration, self._complete, (request,))
+        if request.on_start is not None:
+            request.on_start(request)
 
     def _complete(self, request):
         if self._serving is request:
@@ -206,7 +236,10 @@ class Resource:
             self.total_units += request.units
             self.units_by_label[request.label] += request.units
             self.completed_requests += 1
-            self.sim._step(request.process, send=request)
+            if request.process is not None:
+                self.sim._step(request.process, send=request)
+            elif request.on_complete is not None:
+                request.on_complete(request)
         self._try_start()
 
     def snapshot(self):

@@ -105,31 +105,29 @@ def trace_transport(transport, tracer):
     transport for chaining.  Each delivery records kind ``"message"``;
     drops record kind ``"message-drop"``.
     """
-    original_deliver = transport._deliver
+    previous_hook = transport._delivered_hook
     original_drop = transport._drop
 
-    def traced_deliver(message, done):
-        yield from original_deliver(message, done)
-        # runs synchronously once the delivery process finishes; dropped
-        # messages never get a delivered_at and are recorded by the drop path
-        if message.delivered_at is not None:
-            tracer.record(
-                "message",
-                src=str(message.sender), dst=str(message.dest),
-                protocol=message.protocol,
-                size=round(message.size_units, 3),
-                latency=round(message.latency, 6)
-                if message.latency is not None else None,
-            )
+    def on_delivered(message):
+        tracer.record(
+            "message",
+            src=str(message.sender), dst=str(message.dest),
+            protocol=message.protocol,
+            size=round(message.size_units, 3),
+            latency=round(message.latency, 6)
+            if message.latency is not None else None,
+        )
+        if previous_hook is not None:
+            previous_hook(message)
 
-    def traced_drop(message, done, reason):
+    def traced_drop(message, sink, reason):
         tracer.record(
             "message-drop",
             src=str(message.sender), dst=str(message.dest),
             protocol=message.protocol, reason=reason,
         )
-        original_drop(message, done, reason)
+        original_drop(message, sink, reason)
 
-    transport._deliver = traced_deliver
+    transport._delivered_hook = on_delivered
     transport._drop = traced_drop
     return transport

@@ -106,7 +106,7 @@ class SnmpClient:
         self._pending[request_id] = event
         self.requests_sent += 1
         self.sim.schedule(self.timeout, self._expire, (request_id,))
-        self.transport.send(message)  # delivery failures surface as timeout
+        self.transport.post(message)  # delivery failures surface as timeout
         outcome = yield event
         if isinstance(outcome, _Timeout):
             self.timeouts += 1

@@ -75,7 +75,7 @@ class TrapSink:
             size_units=self.TRAP_SIZE_UNITS,
             protocol="snmp-trap",
         )
-        self.transport.send(message)
+        self.transport.post(message)
         return trap
 
     def __repr__(self):

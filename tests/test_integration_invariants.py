@@ -20,14 +20,14 @@ def run():
     spec = GridTopologySpec.paper_figure6c(seed=33, dataset_threshold=30)
     system = GridManagementSystem(spec)
     tracer = SimulationTracer(system.sim, capacity=100000)
-    # messages already spawned during construction (analyzer registrations)
-    # predate the trace wrapper and stay untraced
-    pre_attach_sends = system.transport.messages_sent
+    # messages already delivered during construction (analyzer
+    # registrations) predate the trace hook and stay untraced
+    pre_attach_deliveries = system.transport.messages_delivered
     trace_transport(system.transport, tracer)
     system.assign_goals(system.make_paper_goals(polls_per_type=10))
     completed = system.run_until_records(30, timeout=4000)
     system.stop_devices()
-    return system, tracer, completed, pre_attach_sends
+    return system, tracer, completed, pre_attach_deliveries
 
 
 class TestPipelineInvariants:
