@@ -1,0 +1,208 @@
+"""X7 -- Robustness: the chaos harness end to end.
+
+A two-site deployment (devices + collector at a field site; storage,
+analysis and interface at the management site) runs the paper workload
+while the harness injects, mid-run:
+
+* a base 2% WAN loss rate, *bursting* to 5% for 20 simulated seconds;
+* a collector **host outage** (down 10s, then reboots) -- in-flight
+  reliable envelopes must survive on retransmission;
+* an analysis **container kill** -- the heartbeat detector must evict it
+  within half the job timeout and re-dispatch its jobs.
+
+Acceptance (ISSUE 3): zero silent record loss -- every record shipped is
+either classified or dead-lettered with accounting; every dataset the
+classifier published is finalized into a report; heartbeat eviction beats
+``job_timeout / 2``.  Metrics land in ``BENCH_robustness.json``.
+"""
+
+import os
+
+from repro.core.system import (
+    DeviceSpec,
+    GridManagementSystem,
+    GridTopologySpec,
+    HostSpec,
+)
+from repro.evaluation.export import bench_to_dict, dump_json
+from repro.evaluation.tables import format_table
+from repro.network.topology import LinkSpec
+from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+
+from conftest import RESULTS_DIR, emit
+
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_robustness.json")
+
+BASE_LOSS = 0.02
+BURST_LOSS = 0.05
+BURST_AT, BURST_LEN = 10.0, 20.0
+HOST_DOWN_AT, HOST_DOWN_LEN = 15.0, 10.0
+KILL_AT = 35.0
+JOB_TIMEOUT = 40.0
+HEARTBEAT_INTERVAL = 2.0  # timeout derives to 8s < JOB_TIMEOUT / 2
+
+
+def _build_system(seed=3):
+    spec = GridTopologySpec(
+        devices=[
+            DeviceSpec("dev1", "server", "field"),
+            DeviceSpec("dev2", "router", "field"),
+            DeviceSpec("dev3", "server", "field"),
+        ],
+        collector_hosts=[HostSpec("col1", "field")],
+        analysis_hosts=[
+            HostSpec("inf1", "mgmt", cpu_capacity=0.5),  # slow: holds jobs
+            HostSpec("inf2", "mgmt", cpu_capacity=10.0),
+        ],
+        storage_host=HostSpec("stor", "mgmt"),
+        interface_host=HostSpec("iface", "mgmt"),
+        seed=seed,
+        dataset_threshold=4,
+        policy="round-robin",
+        job_timeout=JOB_TIMEOUT,
+        heartbeat_interval=HEARTBEAT_INTERVAL,
+        reliability={"ack_timeout": 2.0, "backoff": 2.0, "max_attempts": 6},
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=BASE_LOSS),
+    )
+    return GridManagementSystem(spec)
+
+
+def _chaos(system):
+    apply_fault_plan(system, FaultPlan([
+        FaultEvent(at=BURST_AT, kind="link_loss_burst", target="wan",
+                   loss_rate=BURST_LOSS, clear_after=BURST_LEN),
+        FaultEvent(at=HOST_DOWN_AT, kind="host_down", target="col1",
+                   clear_after=HOST_DOWN_LEN),
+        FaultEvent(at=KILL_AT, kind="container_down", target="analysis-1"),
+    ]))
+
+
+def _drained(system):
+    """Everything in flight has settled and every dataset is decided."""
+    root = system.root
+    return (
+        system.reliable_channel.pending_count() == 0
+        and system.classifier._open_dataset is None
+        and root.datasets
+        and all(state.finished for state in root.datasets.values())
+        and not any(not job.done for job in root.jobs.values())
+    )
+
+
+def _dead_letter_records(channel):
+    """Records inside dead-lettered collected-batch envelopes."""
+    count = 0
+    for dead in channel.dead_letters:
+        acl = dead.message.payload
+        if getattr(acl, "ontology", None) == "collected-batch":
+            count += len(acl.content["records"])
+    return count
+
+
+def run_chaos(seed=3, timeout=2000.0):
+    system = _build_system(seed=seed)
+    system.collectors[0].poll_retries = 12
+    _chaos(system)
+    system.assign_goals(system.make_paper_goals(polls_per_type=4))
+    while system.sim.now < timeout and not _drained(system):
+        system.sim.run(until=system.sim.now + 5.0)
+    system.sim.run(until=system.sim.now + 5.0)  # settle trailing acks
+    channel = system.reliable_channel
+    collector = system.collectors[0]
+    evictions = system.root.evictions
+    detection_delay = (evictions[0][1] - KILL_AT) if evictions else -1.0
+    dead_records = _dead_letter_records(channel)
+    return {
+        "drained": _drained(system),
+        "makespan": max(
+            (r.generated_at for r in system.interface.reports), default=0.0),
+        "records_shipped": collector.records_shipped,
+        "records_classified": system.classifier.records_classified,
+        "dead_letter_records": dead_records,
+        "silent_loss": max(
+            0, collector.records_shipped
+            - system.classifier.records_classified - dead_records),
+        "polls_failed": collector.polls_failed,
+        "poll_retries_used": collector.poll_retries_used,
+        "datasets_published": system.classifier.datasets_published,
+        "datasets_finalized": sum(
+            1 for state in system.root.datasets.values() if state.finished),
+        "reports": len(system.interface.reports),
+        "records_reported": sum(
+            r.records_analyzed for r in system.interface.reports),
+        "containers_evicted": system.root.containers_evicted,
+        "detection_delay": detection_delay,
+        "jobs_redispatched": system.root.jobs_redispatched,
+        "retransmits": channel.retransmits,
+        "dup_drops": channel.dup_drops,
+        "acked": channel.messages_acked,
+        "mean_ack_latency": channel.mean_latency(),
+        "dead_letters": len(channel.dead_letters),
+    }
+
+
+def test_chaos_harness(once):
+    result = once(run_chaos)
+    emit("robustness_chaos", format_table(
+        ("metric", "value"),
+        [
+            ("drained", result["drained"]),
+            ("records shipped", result["records_shipped"]),
+            ("records classified", result["records_classified"]),
+            ("dead-lettered records", result["dead_letter_records"]),
+            ("silent loss", result["silent_loss"]),
+            ("datasets published / finalized", "%d / %d" % (
+                result["datasets_published"], result["datasets_finalized"])),
+            ("reports", result["reports"]),
+            ("containers evicted", result["containers_evicted"]),
+            ("detection delay (s)", "%.1f" % result["detection_delay"]),
+            ("jobs re-dispatched", result["jobs_redispatched"]),
+            ("retransmits", result["retransmits"]),
+            ("duplicate drops", result["dup_drops"]),
+            ("mean ack latency (s)", "%.2f" % result["mean_ack_latency"]),
+            ("makespan (s)", "%.1f" % result["makespan"]),
+        ],
+        title="X7: chaos run (%.0f%% WAN loss burst, host outage, "
+              "container kill)" % (BURST_LOSS * 100),
+    ))
+    # -- the run actually finished under chaos ---------------------------
+    assert result["drained"]
+    assert result["records_shipped"] > 0
+    # -- zero SILENT loss: every shipped record is accounted for ---------
+    assert result["silent_loss"] == 0
+    # -- every published dataset was finalized into a report -------------
+    assert result["datasets_finalized"] == result["datasets_published"]
+    assert result["reports"] >= 1
+    # -- heartbeat eviction beat the Reaper ------------------------------
+    assert result["containers_evicted"] == 1
+    assert 0 < result["detection_delay"] < JOB_TIMEOUT / 2
+    # -- the chaos was real: loss forced the channel to work -------------
+    assert result["retransmits"] > 0
+    assert result["acked"] > 0
+    payload = bench_to_dict(
+        "robustness",
+        metrics={
+            "records_shipped": result["records_shipped"],
+            "records_classified": result["records_classified"],
+            "dead_letter_records": result["dead_letter_records"],
+            "silent_loss": result["silent_loss"],
+            "detection_delay": result["detection_delay"],
+            "jobs_redispatched": result["jobs_redispatched"],
+            "retransmits": result["retransmits"],
+            "dup_drops": result["dup_drops"],
+            "mean_ack_latency": result["mean_ack_latency"],
+            "makespan": result["makespan"],
+        },
+        context={
+            "seed": 3,
+            "base_loss": BASE_LOSS,
+            "burst_loss": BURST_LOSS,
+            "burst_window": [BURST_AT, BURST_AT + BURST_LEN],
+            "collector_outage": [HOST_DOWN_AT, HOST_DOWN_AT + HOST_DOWN_LEN],
+            "kill_at": KILL_AT,
+            "job_timeout": JOB_TIMEOUT,
+            "heartbeat_interval": HEARTBEAT_INTERVAL,
+        },
+    )
+    dump_json(payload, BENCH_PATH)
+    assert os.path.exists(BENCH_PATH)

@@ -123,6 +123,19 @@ class Agent:
         self.messages_sent += len(messages)
         self.platform.send_batch(messages)
 
+    def send_reliable(self, message):
+        """Like :meth:`send`, but over the platform's reliable channel
+        (acked + retransmitted + dead-lettered) when one is installed."""
+        self.messages_sent += 1
+        self.platform.send_reliable(message)
+
+    def send_batch_reliable(self, messages):
+        """Like :meth:`send_batch`, but via the reliable channel when
+        installed; otherwise byte-identical to :meth:`send_batch`."""
+        messages = list(messages)
+        self.messages_sent += len(messages)
+        self.platform.send_batch_reliable(messages)
+
     def reply_to(self, message, performative, content=None, size_units=None):
         """Build and send a reply to ``message``."""
         reply = message.make_reply(performative, content, size_units)

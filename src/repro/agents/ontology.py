@@ -118,6 +118,19 @@ ANALYSIS_RESULT = Ontology(
     },
 )
 
+#: Liveness beacon (analyzer container -> PG root).  The root's failure
+#: detector marks a container suspect when beacons stop and evicts it --
+#: settling and re-dispatching its jobs -- well before the Reaper's
+#: job-timeout would fire (see DESIGN.md section 5.2).
+HEARTBEAT = Ontology(
+    "heartbeat",
+    fields={
+        "container": str,
+        "agent": str,
+        "sent_at": (int, float),
+    },
+)
+
 #: Contract-net call for proposals over an analysis job.
 JOB_CFP = Ontology(
     "job-cfp",
@@ -159,7 +172,7 @@ REGISTRY = {
     ontology.name: ontology
     for ontology in (
         CONTAINER_PROFILE, DATA_READY, ANALYSIS_JOB, ANALYSIS_RESULT,
-        JOB_CFP, JOB_PROPOSAL, MANAGEMENT_REPORT,
+        HEARTBEAT, JOB_CFP, JOB_PROPOSAL, MANAGEMENT_REPORT,
     )
 }
 

@@ -37,11 +37,17 @@ class AgentPlatform:
 
     ACL_PORT = "acl"
 
-    def __init__(self, sim, network, transport, name="repro-platform"):
+    def __init__(self, sim, network, transport, name="repro-platform",
+                 reliable_channel=None):
         self.sim = sim
         self.network = network
         self.transport = transport
         self.name = name
+        #: Optional :class:`~repro.network.reliable.ReliableChannel`; when
+        #: set, :meth:`send_reliable` / :meth:`send_batch_reliable` route
+        #: wire messages through it (acks + retransmission + dead-letter
+        #: accounting) instead of fire-and-forget posting.
+        self.reliable_channel = reliable_channel
         self.containers = {}
         self._agents = {}  # name -> agent
         self._bound_hosts = set()
@@ -114,6 +120,34 @@ class AgentPlatform:
                  if wire is not None]
         if wires:
             self.transport.post_batch(wires)
+
+    def send_reliable(self, acl_message):
+        """Route one ACL message over the reliable channel when installed.
+
+        Without a channel this is exactly :meth:`send` -- loss-free runs
+        stay byte-identical -- so senders that need delivery guarantees
+        (collector shipping, data-ready notifies, replication, alerts) can
+        call this unconditionally.
+        """
+        wire = self._route(acl_message)
+        if wire is None:
+            return
+        if self.reliable_channel is None:
+            self.transport.post(wire)
+        else:
+            self.reliable_channel.post(wire)
+
+    def send_batch_reliable(self, acl_messages):
+        """Batch variant of :meth:`send_reliable` (one aggregate transfer
+        per destination flow for the first transmissions)."""
+        wires = [wire for wire in map(self._route, acl_messages)
+                 if wire is not None]
+        if not wires:
+            return
+        if self.reliable_channel is None:
+            self.transport.post_batch(wires)
+        else:
+            self.reliable_channel.post_batch(wires)
 
     def _route(self, acl_message):
         """Shared routing: deliver locally or return the wire message."""

@@ -208,8 +208,10 @@ class ClassifierAgent(Agent):
             storage_host=self.store.host.name,
         )
         # Notify fan-out rides the batched MTS lane (aggregate transfer
-        # when several notifies leave for the same host in one instant).
-        self.send_batch([ACLMessage(
+        # when several notifies leave for the same host in one instant);
+        # a lost DATA_READY would orphan the whole dataset, so it goes
+        # through the reliable channel when one is installed.
+        self.send_batch_reliable([ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.processor_name,

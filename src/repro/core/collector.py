@@ -154,7 +154,9 @@ class CollectorAgent(Agent):
         wire_units = self.protocol.size(payload_units)
         # Batched shipping lane: envelopes shipped in the same instant to
         # the same classifier host travel as one aggregate wire transfer.
-        self.send_batch([ACLMessage(
+        # Reliable variant: with a channel installed the envelope is acked,
+        # retransmitted on loss and dead-lettered (never silently lost).
+        self.send_batch_reliable([ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.classifier_name,

@@ -149,7 +149,9 @@ class InterfaceAgent(Agent):
             if severity_rank(alert.finding.severity) < \
                     severity_rank(min_severity):
                 continue
-            self.send(ACLMessage(
+            # Alerts are the one output a manager must not miss; they use
+            # the reliable channel when one is installed.
+            self.send_reliable(ACLMessage(
                 Performative.INFORM,
                 sender=self.name,
                 receiver=subscriber,

@@ -25,6 +25,7 @@ from repro.agents.ontology import (
     ANALYSIS_RESULT,
     CONTAINER_PROFILE,
     DATA_READY,
+    HEARTBEAT,
 )
 from repro.core.costs import DEFAULT_COST_MODEL, GROUP_REQUEST_TYPES, TaskKind
 from repro.core.loadbalance import KnowledgeFirstPolicy, PlacementJob
@@ -90,7 +91,14 @@ class ProcessorRootAgent(Agent):
             container (fault tolerance).  The grace doubles per attempt so
             a slow-but-alive analyzer is not stampeded with duplicates.
         max_attempts: after this many dispatch attempts a cluster is
-            abandoned (the dataset report proceeds without its findings).
+            abandoned (the dataset report proceeds without its findings,
+            carrying an ``analysis-abandoned`` error finding instead).
+        heartbeat_timeout: seconds without a heartbeat after which an
+            analyzer container is declared dead and *evicted*: its
+            outstanding jobs are settled and re-dispatched immediately
+            instead of waiting out the Reaper's job timeout.  ``None``
+            (default) disables the detector; containers that resume
+            heartbeating after an eviction are re-registered.
         enable_cross: run the level-3 cross analysis per dataset.
         negotiation_deadline: proposal window for the negotiated policy.
         cross_window: when > 0, cross jobs also carry problems found in
@@ -114,6 +122,7 @@ class ProcessorRootAgent(Agent):
         negotiation_deadline=2.0,
         max_attempts=6,
         cross_window=0.0,
+        heartbeat_timeout=None,
     ):
         super().__init__(name)
         self.storage_agent_name = storage_agent_name
@@ -125,6 +134,7 @@ class ProcessorRootAgent(Agent):
         self.enable_cross = enable_cross
         self.negotiation_deadline = negotiation_deadline
         self.max_attempts = max_attempts
+        self.heartbeat_timeout = heartbeat_timeout
         self.jobs_abandoned = 0
         #: Seconds to wait for a placeable container before abandoning a
         #: job outright (e.g. every analyzer in the grid is gone).
@@ -139,6 +149,13 @@ class ProcessorRootAgent(Agent):
         self.jobs_redispatched = 0
         self.reports_issued = 0
         self.negotiator = None
+        # -- heartbeat failure detection ------------------------------------
+        self._last_heartbeat = {}   # container name -> last beacon time
+        self._evicted = {}          # container name -> eviction time
+        self.evictions = []         # [(container, evicted_at)]
+        self.heartbeats_received = 0
+        self.containers_evicted = 0
+        self.containers_recovered = 0
 
     def setup(self):
         if self.directory is None:
@@ -177,12 +194,31 @@ class ProcessorRootAgent(Agent):
             def on_tick(self):
                 yield from root._reap_expired_jobs()
 
+        class Heartbeats(CyclicBehaviour):
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.INFORM,
+                    ontology=HEARTBEAT.name,
+                ))
+                if message is not None:
+                    root._on_heartbeat(message)
+
+        class Detector(TickerBehaviour):
+            def on_tick(self):
+                yield from root._check_heartbeats()
+
         self.add_behaviour(Registrations("registrations"))
         self.add_behaviour(DataReady("data-ready"))
         self.add_behaviour(Results("results"))
         self.add_behaviour(Reaper(
             period=max(1.0, self.job_timeout / 4.0), name="reaper",
         ))
+        self.add_behaviour(Heartbeats("heartbeats"))
+        if self.heartbeat_timeout is not None:
+            self.add_behaviour(Detector(
+                period=max(0.5, self.heartbeat_timeout / 4.0),
+                name="failure-detector",
+            ))
 
     # -- registration (Figure 4) ------------------------------------------
 
@@ -418,10 +454,28 @@ class ProcessorRootAgent(Agent):
 
     def _abandon_placement(self, dataset_id, cluster, level):
         """Give up on placing a job (no analyzers for too long)."""
-        self.jobs_abandoned += 1
         state = self.datasets.get(dataset_id)
         if state is None or state.finished:
+            self.jobs_abandoned += 1
             return
+        yield from self._abandon_job(state, cluster, level,
+                                     "no placeable analyzer container")
+
+    def _abandon_job(self, state, cluster, level, reason):
+        """Abandon a cluster/cross job; the dataset still finalizes.
+
+        The report carries an ``analysis-abandoned`` error finding instead
+        of the cluster's results, so the loss is visible to the manager
+        rather than silent.
+        """
+        self.jobs_abandoned += 1
+        state.findings.append(Finding(
+            kind="analysis-abandoned",
+            severity="major",
+            device="",
+            detail={"cluster": cluster, "level": level, "reason": reason},
+            level=level,
+        ))
         if level >= 3:
             yield from self._finalize_dataset(state)
         else:
@@ -433,6 +487,65 @@ class ProcessorRootAgent(Agent):
             self._outstanding_by_container[container_name] = count - 1
 
     # -- fault tolerance ----------------------------------------------------------
+
+    def _on_heartbeat(self, message):
+        """Record a liveness beacon; re-register a returned container."""
+        content = HEARTBEAT.validate(message.content)
+        container_name = content["container"]
+        self.heartbeats_received += 1
+        if container_name not in self._analyzer_agent_by_container:
+            container = self.platform.containers.get(container_name)
+            if container is None or not container.alive:
+                return  # beacon from a corpse (in-flight when it died)
+            # Either an eviction proved premature (the container was alive
+            # but unreachable, e.g. its host was down) or a brand-new
+            # container announced itself by heartbeat: (re-)register it.
+            self._analyzer_agent_by_container[container_name] = content["agent"]
+            self.directory.register_container_profile(container.profile())
+            if self._evicted.pop(container_name, None) is not None:
+                self.containers_recovered += 1
+        self._last_heartbeat[container_name] = self.sim.now
+
+    def _check_heartbeats(self):
+        """Evict registered containers whose beacons stopped."""
+        horizon = self.sim.now - self.heartbeat_timeout
+        stale = [
+            name for name, last in self._last_heartbeat.items()
+            if last < horizon and name in self._analyzer_agent_by_container
+        ]
+        for container_name in stale:
+            yield from self._evict_container(container_name)
+
+    def _evict_container(self, container_name):
+        """Confirmed-dead path: deregister and recover its jobs *now*.
+
+        Unlike the Reaper (which waits out each job's own deadline), an
+        eviction settles every outstanding job on the container in one
+        sweep and re-dispatches immediately -- detection latency is the
+        heartbeat timeout, not the job timeout.
+        """
+        self._analyzer_agent_by_container.pop(container_name, None)
+        self._evicted[container_name] = self.sim.now
+        self.evictions.append((container_name, self.sim.now))
+        self.containers_evicted += 1
+        for job in list(self.jobs.values()):
+            if job.done or job.container != container_name:
+                continue
+            job.done = True
+            self._settle_outstanding(container_name)
+            state = self.datasets.get(job.dataset_id)
+            if state is None or state.finished:
+                continue
+            if job.attempt >= self.max_attempts:
+                yield from self._abandon_job(state, job.cluster, job.level,
+                                             "max attempts on eviction")
+                continue
+            exclude = set(job.excluded_containers)
+            exclude.add(container_name)
+            yield from self._dispatch_job(
+                job.dataset_id, job.cluster, job.record_count, job.level,
+                exclude=exclude, attempt=job.attempt + 1,
+            )
 
     def _reap_expired_jobs(self):
         now = self.sim.now
@@ -447,11 +560,8 @@ class ProcessorRootAgent(Agent):
             if state is None or state.finished:
                 continue
             if job.attempt >= self.max_attempts:
-                self.jobs_abandoned += 1
-                if job.level >= 3:
-                    yield from self._finalize_dataset(state)
-                else:
-                    yield from self._cluster_done(state, job.cluster)
+                yield from self._abandon_job(state, job.cluster, job.level,
+                                             "max attempts on job timeout")
                 continue
             exclude = set(job.excluded_containers)
             exclude.add(job.container)
@@ -495,19 +605,24 @@ class AnalyzerAgent(Agent):
         knowledge_base: the rule :class:`~repro.rules.rulebase.KnowledgeBase`.
         cost_model: Table 1 cost model.
         register_on_start: send the container profile to the root at setup.
+        heartbeat_interval: seconds between liveness beacons to the root
+            (``None``, the default, disables heartbeating; pair with the
+            root's ``heartbeat_timeout`` for failure detection).
     """
 
     def __init__(self, name, root_name, knowledge_base, cost_model=None,
-                 register_on_start=True):
+                 register_on_start=True, heartbeat_interval=None):
         super().__init__(name)
         self.root_name = root_name
         self.knowledge_base = knowledge_base
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.register_on_start = register_on_start
+        self.heartbeat_interval = heartbeat_interval
         self.responder = None
         self.jobs_completed = 0
         self.records_analyzed = 0
         self.rules_fired = 0
+        self.heartbeats_sent = 0
 
     def setup(self):
         self.responder = ContractNetResponder(self)
@@ -553,9 +668,34 @@ class AnalyzerAgent(Agent):
                 if message is not None:
                     analyzer._learn_rule(message)
 
+        class Heartbeat(TickerBehaviour):
+            def on_tick(self):
+                analyzer._send_heartbeat()
+                return
+                yield  # pragma: no cover - keeps on_tick a generator
+
         self.add_behaviour(Jobs("jobs"))
         self.add_behaviour(Negotiation("negotiation"))
         self.add_behaviour(Learning("learning"))
+        if self.heartbeat_interval is not None:
+            self.add_behaviour(Heartbeat(
+                period=self.heartbeat_interval, name="heartbeat",
+            ))
+
+    def _send_heartbeat(self):
+        self.heartbeats_sent += 1
+        self.send(ACLMessage(
+            Performative.INFORM,
+            sender=self.name,
+            receiver=self.root_name,
+            content=HEARTBEAT.make(
+                container=self.container.name,
+                agent=self.name,
+                sent_at=self.sim.now,
+            ),
+            ontology=HEARTBEAT.name,
+            size_units=0.1,
+        ))
 
     # -- job execution ------------------------------------------------------
 

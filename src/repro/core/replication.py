@@ -77,7 +77,9 @@ class ReplicationService:
             ontology="replication",
             size_units=size,
         )
-        self.system.platform.send(message)
+        # Replica batches ride the reliable channel when installed: a lost
+        # mirror write would silently diverge the replica.
+        self.system.platform.send_reliable(message)
         self.batches_replicated += 1
         self.records_replicated += len(records)
 

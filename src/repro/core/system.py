@@ -73,6 +73,15 @@ class GridTopologySpec:
         job_timeout: processor-grid job re-dispatch timeout.
         enable_cross: run level-3 cross analysis per dataset.
         device_tick: device metric-dynamics period.
+        reliability: ``False`` (default) keeps the plain transport;
+            ``True`` installs a :class:`~repro.network.reliable.ReliableChannel`
+            (ack + retransmit + dedup) under the platform's critical sends;
+            a dict supplies channel keyword arguments (ack_timeout, backoff,
+            max_attempts, ...).
+        heartbeat_interval: analyzer liveness-beacon period (``None``
+            disables heartbeating).
+        heartbeat_timeout: root-side silence threshold before a container
+            is evicted; defaults to 4x the interval when heartbeating is on.
     """
 
     def __init__(
@@ -94,6 +103,9 @@ class GridTopologySpec:
         collector_parse_locally=True,
         shipping_protocol=None,
         wan=None,
+        reliability=False,
+        heartbeat_interval=None,
+        heartbeat_timeout=None,
     ):
         if not devices:
             raise ValueError("at least one device is required")
@@ -130,6 +142,11 @@ class GridTopologySpec:
             shipping_protocol = protocol_overhead(shipping_protocol)
         self.shipping_protocol = shipping_protocol
         self.wan = wan  # LinkSpec for cross-site traffic (None = default)
+        self.reliability = reliability
+        self.heartbeat_interval = heartbeat_interval
+        if heartbeat_timeout is None and heartbeat_interval is not None:
+            heartbeat_timeout = 4.0 * heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
 
     @classmethod
     def paper_figure6c(cls, seed=0, **overrides):
@@ -172,7 +189,20 @@ class GridManagementSystem:
         self.sim = Simulator(seed=spec.seed)
         self.network = Network(self.sim, wan=spec.wan)
         self.transport = Transport(self.network)
-        self.platform = AgentPlatform(self.sim, self.network, self.transport)
+        self.reliable_channel = None
+        if spec.reliability:
+            from repro.network.reliable import ReliableChannel
+
+            channel_kwargs = (
+                dict(spec.reliability) if isinstance(spec.reliability, dict)
+                else {}
+            )
+            self.reliable_channel = ReliableChannel(
+                self.transport, **channel_kwargs)
+        self.platform = AgentPlatform(
+            self.sim, self.network, self.transport,
+            reliable_channel=self.reliable_channel,
+        )
         self.devices = {}
         self.device_engines = {}
         self.collectors = []
@@ -255,6 +285,7 @@ class GridManagementSystem:
             cost_model=self.cost_model,
             job_timeout=self.spec.job_timeout,
             enable_cross=self.spec.enable_cross,
+            heartbeat_timeout=self.spec.heartbeat_timeout,
         )
         self.storage_container.deploy(self.root)
         self.analysis_containers = []
@@ -270,6 +301,7 @@ class GridManagementSystem:
                 root_name=self.root.name,
                 knowledge_base=self.spec.knowledge_base_factory(),
                 cost_model=self.cost_model,
+                heartbeat_interval=self.spec.heartbeat_interval,
             )
             container.deploy(analyzer)
             self.analyzers.append(analyzer)

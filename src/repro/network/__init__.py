@@ -8,6 +8,7 @@ bandwidth-proportional transit delay.
 """
 
 from repro.network.addressing import Address
+from repro.network.reliable import DeadLetter, Envelope, ReliableChannel
 from repro.network.topology import Host, LinkSpec, Network, Site
 from repro.network.transport import DeliveryError, Message, Transport
 from repro.network.protocols import (
@@ -21,13 +22,16 @@ from repro.network.protocols import (
 __all__ = [
     "Address",
     "BatchEnvelope",
+    "DeadLetter",
     "DeliveryError",
+    "Envelope",
     "HTTP",
     "Host",
     "LinkSpec",
     "Message",
     "Network",
     "ProtocolSpec",
+    "ReliableChannel",
     "SMTP",
     "Site",
     "Transport",

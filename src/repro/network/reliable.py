@@ -1,0 +1,334 @@
+"""End-to-end reliable delivery over the lossy transport.
+
+The base :class:`~repro.network.transport.Transport` is deliberately
+unreliable: links draw per-message Bernoulli losses and a down host drops
+everything in flight.  Protocols that care (SNMP polls) retry themselves;
+everything else is fire-and-forget.  The paper's survivability claim
+("grids of agents tolerate imperfect WANs") needs more for the record
+pipeline: a lost collector envelope silently loses collected records.
+
+:class:`ReliableChannel` layers a sequenced, acknowledged, retransmitting
+delivery protocol on top of the transport without touching its
+timing-exact wire-batch lanes:
+
+* every payload message is wrapped in an :class:`Envelope` carrying a
+  per-``(sender host, destination host, destination port)`` *stream* id
+  and a monotonically increasing sequence number;
+* envelopes travel to a channel-owned data port on the destination host;
+  the channel unwraps them there, suppresses duplicates by (stream, seq),
+  hands first copies to the *original* port's handler, and returns an ACK
+  to a channel-owned ack port on the sender host;
+* the sender retransmits unacknowledged envelopes on a timeout that backs
+  off exponentially per attempt; after ``max_attempts`` the message moves
+  to the **dead-letter queue** with full accounting (attempts, first/last
+  send time, reason) instead of vanishing;
+* both data and ACK messages ride the normal transport (NIC charges, link
+  latency, loss draws all apply), so reliability is paid for, not free.
+
+The protocol is at-least-once below the suppression point and exactly-once
+above it: a receiver handler never sees the same (stream, seq) twice, but
+an envelope whose ACKs were all lost can be delivered *and* dead-lettered
+-- accounting therefore treats "classified + dead-lettered >= shipped" as
+the no-silent-loss invariant, never exact equality.
+
+The channel is opt-in (``GridTopologySpec(reliability=True)``); when it is
+not installed the agent helpers fall back to the plain fire-and-forget
+paths, byte-identical with pre-channel behaviour.
+"""
+
+from repro.network.addressing import Address
+from repro.network.transport import Message
+
+#: Channel-owned ports bound on demand on participating hosts.
+DATA_PORT = "rel-data"
+ACK_PORT = "rel-ack"
+
+
+class Envelope:
+    """The reliable-channel header wrapped around one payload message."""
+
+    __slots__ = ("stream", "seq", "port", "payload", "attempt")
+
+    def __init__(self, stream, seq, port, payload, attempt):
+        self.stream = stream
+        self.seq = seq
+        self.port = port
+        self.payload = payload
+        self.attempt = attempt
+
+    def __repr__(self):
+        return "Envelope(%s#%d -> port %r, attempt %d)" % (
+            "/".join(self.stream), self.seq, self.port, self.attempt,
+        )
+
+
+class _Ack:
+    """Receiver -> sender acknowledgement for one (stream, seq)."""
+
+    __slots__ = ("stream", "seq")
+
+    def __init__(self, stream, seq):
+        self.stream = stream
+        self.seq = seq
+
+
+class _Pending:
+    """Sender-side state for one unacknowledged envelope."""
+
+    __slots__ = ("stream", "seq", "message", "attempts", "first_sent",
+                 "last_sent", "timer")
+
+    def __init__(self, stream, seq, message, now):
+        self.stream = stream
+        self.seq = seq
+        self.message = message
+        self.attempts = 0
+        self.first_sent = now
+        self.last_sent = now
+        self.timer = None
+
+
+class DeadLetter:
+    """One message the channel gave up on, with delivery accounting."""
+
+    __slots__ = ("message", "stream", "seq", "attempts", "first_sent",
+                 "dead_at", "reason")
+
+    def __init__(self, pending, dead_at, reason):
+        self.message = pending.message
+        self.stream = pending.stream
+        self.seq = pending.seq
+        self.attempts = pending.attempts
+        self.first_sent = pending.first_sent
+        self.dead_at = dead_at
+        self.reason = reason
+
+    def __repr__(self):
+        return "DeadLetter(%s#%d, attempts=%d, reason=%r)" % (
+            "/".join(self.stream), self.seq, self.attempts, self.reason,
+        )
+
+
+class ReliableChannel:
+    """Acked, deduplicated, retransmitting delivery over a Transport.
+
+    Args:
+        transport: the underlying (lossy) transport.
+        ack_timeout: seconds to wait for an ACK before the first
+            retransmission; doubles by ``backoff`` per further attempt.
+        backoff: multiplicative retransmission backoff per attempt.
+        max_attempts: total transmissions (first + retransmits) before a
+            message is dead-lettered.
+        ack_size_units: network units charged for each ACK message.
+    """
+
+    def __init__(self, transport, ack_timeout=2.0, backoff=2.0,
+                 max_attempts=6, ack_size_units=0.1):
+        if ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.transport = transport
+        self.sim = transport.sim
+        self.network = transport.network
+        self.ack_timeout = ack_timeout
+        self.backoff = backoff
+        self.max_attempts = max_attempts
+        self.ack_size_units = ack_size_units
+        self._next_seq = {}      # stream -> next sequence number
+        self._pending = {}       # (stream, seq) -> _Pending
+        self._seen = {}          # receiver side: stream -> set(seq)
+        self._data_hosts = set()
+        self._ack_hosts = set()
+        self.dead_letters = []
+        self.on_dead_letter = None  # optional hook(dead_letter)
+        # -- metrics ------------------------------------------------------
+        self.messages_sent = 0
+        self.messages_delivered = 0   # first copies handed to handlers
+        self.messages_acked = 0       # pending entries settled by an ACK
+        self.retransmits = 0
+        self.dup_drops = 0
+        self.acks_sent = 0
+        self.undeliverable = 0        # arrived but original port unbound
+        self.latency_sum = 0.0        # first-send -> ack, per acked message
+        self.latency_max = 0.0
+
+    # -- submission --------------------------------------------------------
+
+    def post(self, message):
+        """Reliably deliver ``message`` (fire-and-forget with retries).
+
+        The message must be addressed to a real (host, port) endpoint; the
+        channel owns delivery from here: the caller gets no completion
+        event, but the message is guaranteed to land exactly once at the
+        destination handler unless it ends up in :attr:`dead_letters`.
+        """
+        self._wire(self._enroll(message), first=True)
+
+    def post_batch(self, messages):
+        """Reliably deliver several messages.
+
+        First transmissions of same-flow messages share an aggregate wire
+        batch (one NIC use + one transit), mirroring
+        :meth:`Transport.post_batch`; retransmissions go out individually.
+        """
+        pendings = [self._enroll(message) for message in messages]
+        wires = [self._make_wire(pending, first=True) for pending in pendings]
+        if wires:
+            self.transport.post_batch(wires)
+
+    def pending_count(self):
+        return len(self._pending)
+
+    # -- sender side -------------------------------------------------------
+
+    def _enroll(self, message):
+        stream = (message.sender.host, message.dest.host, message.dest.port)
+        seq = self._next_seq.get(stream, 0)
+        self._next_seq[stream] = seq + 1
+        pending = _Pending(stream, seq, message, self.sim.now)
+        self._pending[(stream, seq)] = pending
+        self._bind_endpoints(message.sender.host, message.dest.host)
+        self.messages_sent += 1
+        return pending
+
+    def _make_wire(self, pending, first):
+        """Build the wrapped transport message for one (re)transmission."""
+        pending.attempts += 1
+        pending.last_sent = self.sim.now
+        if not first:
+            self.retransmits += 1
+        message = pending.message
+        envelope = Envelope(
+            pending.stream, pending.seq, message.dest.port,
+            message.payload, pending.attempts,
+        )
+        delay = self.ack_timeout * (self.backoff ** (pending.attempts - 1))
+        pending.timer = self.sim.schedule(delay, self._on_timeout, (pending,))
+        return Message(
+            sender=message.sender,
+            dest=Address(message.dest.host, DATA_PORT),
+            payload=envelope,
+            size_units=message.size_units,
+            protocol=message.protocol,
+            label=message.label,
+        )
+
+    def _wire(self, pending, first):
+        self.transport.post(self._make_wire(pending, first))
+
+    def _on_timeout(self, pending):
+        key = (pending.stream, pending.seq)
+        if self._pending.get(key) is not pending:
+            return  # acked in the meantime
+        if pending.attempts >= self.max_attempts:
+            del self._pending[key]
+            dead = DeadLetter(pending, self.sim.now,
+                              "no ack after %d attempts" % pending.attempts)
+            self.dead_letters.append(dead)
+            if self.on_dead_letter is not None:
+                self.on_dead_letter(dead)
+            return
+        self._wire(pending, first=False)
+
+    def _on_ack(self, wire):
+        ack = wire.payload
+        if not isinstance(ack, _Ack):
+            return
+        pending = self._pending.pop((ack.stream, ack.seq), None)
+        if pending is None:
+            return  # duplicate ACK for an already-settled message
+        if pending.timer is not None:
+            pending.timer.cancel()
+        self.messages_acked += 1
+        latency = self.sim.now - pending.first_sent
+        self.latency_sum += latency
+        if latency > self.latency_max:
+            self.latency_max = latency
+
+    # -- receiver side -----------------------------------------------------
+
+    def _on_data(self, wire):
+        envelope = wire.payload
+        if not isinstance(envelope, Envelope):
+            return
+        stream, seq = envelope.stream, envelope.seq
+        seen = self._seen.setdefault(stream, set())
+        if seq in seen:
+            # Duplicate: the payload was already handed up; the ACK must
+            # have been lost, so re-ack without redelivering.
+            self.dup_drops += 1
+            self._send_ack(wire, stream, seq)
+            return
+        destination = self.network.hosts.get(wire.dest.host)
+        handler = (destination.handler_for(envelope.port)
+                   if destination is not None else None)
+        if handler is None:
+            # Arrived on a host that no longer serves the original port.
+            # Ack anyway: retransmitting cannot help, and leaving the
+            # sender to dead-letter it would misreport a *delivered* wire.
+            self.undeliverable += 1
+            seen.add(seq)
+            self._send_ack(wire, stream, seq)
+            return
+        seen.add(seq)
+        self.messages_delivered += 1
+        # Restore the original addressing before the handoff so handlers
+        # (e.g. AgentPlatform._on_network_message) see a plain delivery.
+        wire.dest = Address(wire.dest.host, envelope.port)
+        wire.payload = envelope.payload
+        self._send_ack(wire, stream, seq)
+        handler(wire)
+
+    def _send_ack(self, wire, stream, seq):
+        self.acks_sent += 1
+        self.transport.post(Message(
+            sender=Address(wire.dest.host, DATA_PORT),
+            dest=Address(stream[0], ACK_PORT),
+            payload=_Ack(stream, seq),
+            size_units=self.ack_size_units,
+            protocol="rel-ack",
+        ))
+
+    # -- wiring ------------------------------------------------------------
+
+    def _bind_endpoints(self, sender_host_name, dest_host_name):
+        if sender_host_name not in self._ack_hosts:
+            host = self.network.hosts.get(sender_host_name)
+            if host is not None:
+                host.bind(ACK_PORT, self._on_ack)
+            self._ack_hosts.add(sender_host_name)
+        if dest_host_name not in self._data_hosts:
+            host = self.network.hosts.get(dest_host_name)
+            if host is not None:
+                host.bind(DATA_PORT, self._on_data)
+            self._data_hosts.add(dest_host_name)
+
+    # -- reporting ---------------------------------------------------------
+
+    def mean_latency(self):
+        if not self.messages_acked:
+            return 0.0
+        return self.latency_sum / self.messages_acked
+
+    def stats(self):
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "acked": self.messages_acked,
+            "retransmits": self.retransmits,
+            "dup_drops": self.dup_drops,
+            "acks_sent": self.acks_sent,
+            "dead_letters": len(self.dead_letters),
+            "undeliverable": self.undeliverable,
+            "pending": len(self._pending),
+            "mean_latency": self.mean_latency(),
+            "max_latency": self.latency_max,
+        }
+
+    def __repr__(self):
+        return ("ReliableChannel(sent=%d, acked=%d, retransmits=%d, "
+                "dead=%d)") % (self.messages_sent, self.messages_acked,
+                               self.retransmits, len(self.dead_letters))

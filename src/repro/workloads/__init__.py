@@ -7,11 +7,17 @@ from repro.workloads.generator import (
 )
 from repro.workloads.scenarios import (
     Scenario,
+    chaos_scenario,
     crossover_scenarios,
     paper_scenario,
     scaling_scenario,
 )
-from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+from repro.workloads.faults import (
+    FaultEvent,
+    FaultPlan,
+    apply_fault_plan,
+    chaos_plan,
+)
 
 __all__ = [
     "FaultEvent",
@@ -20,6 +26,8 @@ __all__ = [
     "Scenario",
     "WorkloadGenerator",
     "apply_fault_plan",
+    "chaos_plan",
+    "chaos_scenario",
     "crossover_scenarios",
     "goals_for_mix",
     "paper_scenario",

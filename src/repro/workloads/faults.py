@@ -1,13 +1,22 @@
-"""Fault-injection plans.
+"""Fault-injection plans and the chaos harness.
 
-Two kinds of faults are injected in experiments:
+Faults injected in experiments fall into three families:
 
 * **device faults** -- a managed device's metrics enter a degraded regime
   (CPU runaway, memory leak, disk filling, interface down); the analysis
   rules are expected to *detect* these.
-* **infrastructure faults** -- a management container is killed mid-run;
-  the processor-grid root is expected to *tolerate* these by re-dispatching
-  jobs (bench X4).
+* **infrastructure faults** -- a management container or host is killed
+  mid-run (``container_down`` / ``agent_down`` / ``host_down``); the
+  processor-grid root is expected to *tolerate* these by re-dispatching
+  jobs (bench X4) or -- with heartbeats enabled -- evicting the dead
+  container within the heartbeat timeout.  ``host_down`` may carry
+  ``clear_after`` to model a reboot (:meth:`Host.recover`).
+* **network faults** -- ``link_loss_burst`` spikes a LAN/WAN loss rate for
+  a while; the reliable channel is expected to retransmit through it.
+
+``container_down`` kills exactly one container (its agents stop; the host
+and its other containers stay up).  Killing the whole machine is
+``host_down``.
 """
 
 
@@ -17,27 +26,57 @@ class FaultEvent:
     Args:
         at: simulated time to fire.
         kind: device fault kind ("cpu_runaway", "memory_leak",
-            "disk_filling", "interface_down") or "container_down".
-        target: device name or container name.
-        interface: interface index for "interface_down".
+            "disk_filling", "interface_down"), "container_down",
+            "agent_down", "host_down" or "link_loss_burst".
+        target: device / container / agent / host name, or -- for
+            "link_loss_burst" -- "wan" or a site name.
+        interface: interface index ("interface_down" only).
         clear_after: optional duration after which the fault self-clears
-            (device faults only).
+            (device faults, "host_down" recovery, burst end).  Rejected
+            for "container_down"/"agent_down": killed containers and
+            agents do not resurrect; deploy a new one instead.
+        loss_rate: the burst loss probability ("link_loss_burst" only).
     """
 
     DEVICE_KINDS = ("cpu_runaway", "memory_leak", "disk_filling",
                     "interface_down")
     CONTAINER_DOWN = "container_down"
+    AGENT_DOWN = "agent_down"
+    HOST_DOWN = "host_down"
+    LINK_LOSS_BURST = "link_loss_burst"
+    INFRA_KINDS = (CONTAINER_DOWN, AGENT_DOWN, HOST_DOWN)
+    KINDS = DEVICE_KINDS + INFRA_KINDS + (LINK_LOSS_BURST,)
 
-    def __init__(self, at, kind, target, interface=None, clear_after=None):
-        if kind not in self.DEVICE_KINDS and kind != self.CONTAINER_DOWN:
+    def __init__(self, at, kind, target, interface=None, clear_after=None,
+                 loss_rate=None):
+        if kind not in self.KINDS:
             raise ValueError("unknown fault kind %r" % kind)
         if at < 0:
             raise ValueError("fault time must be >= 0")
+        if interface is not None and kind != "interface_down":
+            raise ValueError(
+                "interface= only applies to interface_down, not %r" % kind)
+        if clear_after is not None:
+            if kind in (self.CONTAINER_DOWN, self.AGENT_DOWN):
+                raise ValueError(
+                    "%s does not support clear_after (killed containers/"
+                    "agents do not resurrect)" % kind)
+            if clear_after <= 0:
+                raise ValueError("clear_after must be > 0")
+        if kind == self.LINK_LOSS_BURST:
+            if loss_rate is None:
+                raise ValueError("link_loss_burst requires loss_rate=")
+            if not 0.0 <= loss_rate < 1.0:
+                raise ValueError("loss_rate must be within [0, 1)")
+        elif loss_rate is not None:
+            raise ValueError(
+                "loss_rate= only applies to link_loss_burst, not %r" % kind)
         self.at = at
         self.kind = kind
         self.target = target
         self.interface = interface
         self.clear_after = clear_after
+        self.loss_rate = loss_rate
 
     def __repr__(self):
         return "FaultEvent(t=%g, %s -> %s)" % (self.at, self.kind, self.target)
@@ -61,11 +100,37 @@ class FaultPlan:
         return iter(self.events)
 
 
+def chaos_plan(container="analysis-1", collector_host=None,
+               burst_target="wan", burst_loss=0.05, burst_at=5.0,
+               burst_duration=20.0, kill_at=8.0, host_down_at=12.0,
+               host_down_duration=10.0):
+    """The standard chaos mix: loss burst + container kill + host bounce.
+
+    Exercises all three tolerance mechanisms at once: the reliable channel
+    (burst), heartbeat eviction (container kill) and retransmission across
+    an outage window (collector host down + recovery).  ``collector_host``
+    is optional; without it the plan contains only the burst and the kill.
+    """
+    events = [
+        FaultEvent(burst_at, FaultEvent.LINK_LOSS_BURST, burst_target,
+                   loss_rate=burst_loss, clear_after=burst_duration),
+        FaultEvent(kill_at, FaultEvent.CONTAINER_DOWN, container),
+    ]
+    if collector_host is not None:
+        events.append(FaultEvent(
+            host_down_at, FaultEvent.HOST_DOWN, collector_host,
+            clear_after=host_down_duration,
+        ))
+    return FaultPlan(events)
+
+
 def apply_fault_plan(system, plan):
     """Schedule every fault in ``plan`` on a built grid system.
 
     Device faults resolve against ``system.devices``; container faults
-    against ``system.platform.containers``.  Unknown targets raise
+    against ``system.platform.containers``; agent faults against the
+    platform's agent registry; host faults against ``system.network``;
+    loss bursts against the WAN or a site LAN.  Unknown targets raise
     immediately (misconfigured experiments should fail loudly).
     """
     for event in plan:
@@ -74,6 +139,26 @@ def apply_fault_plan(system, plan):
                 raise KeyError("unknown container %r" % event.target)
             system.sim.schedule(
                 event.at, _kill_container, (system, event.target),
+            )
+        elif event.kind == FaultEvent.AGENT_DOWN:
+            if system.platform.agent(event.target) is None:
+                raise KeyError("unknown agent %r" % event.target)
+            system.sim.schedule(
+                event.at, _kill_agent, (system, event.target),
+            )
+        elif event.kind == FaultEvent.HOST_DOWN:
+            host = system.network.hosts.get(event.target)
+            if host is None:
+                raise KeyError("unknown host %r" % event.target)
+            system.sim.schedule(event.at, host.fail, ())
+            if event.clear_after is not None:
+                system.sim.schedule(
+                    event.at + event.clear_after, host.recover, ())
+        elif event.kind == FaultEvent.LINK_LOSS_BURST:
+            _resolve_link(system.network, event.target)  # fail loudly now
+            system.sim.schedule(
+                event.at, _start_loss_burst,
+                (system, event.target, event.loss_rate, event.clear_after),
             )
         else:
             device = system.devices.get(event.target)
@@ -91,7 +176,50 @@ def apply_fault_plan(system, plan):
 
 
 def _kill_container(system, container_name):
+    """Kill one container; the host (and its other containers) stay up."""
     container = system.platform.containers.get(container_name)
     if container is not None:
         container.shutdown()
-        container.host.fail()
+
+
+def _kill_agent(system, agent_name):
+    """Kill one agent; its container keeps running."""
+    agent = system.platform.agent(agent_name)
+    if agent is not None and agent.container is not None:
+        agent.container.remove(agent)
+
+
+def _resolve_link(network, target):
+    """The link a burst targets: "wan" or a site name (-> its LAN)."""
+    if target == "wan":
+        return network.wan
+    site = network.sites.get(target)
+    if site is None:
+        raise KeyError("unknown link target %r (use \"wan\" or a site name)"
+                       % target)
+    return site.lan
+
+
+def _start_loss_burst(system, target, loss_rate, clear_after):
+    """Swap in a lossier LinkSpec; restore the original when it clears.
+
+    The spec object is *replaced*, never mutated: default LAN/WAN specs
+    are shared module-level singletons, and traffic already in flight
+    keeps the loss rate it was launched with.
+    """
+    from repro.network.topology import LinkSpec
+
+    network = system.network
+    original = _resolve_link(network, target)
+    burst = LinkSpec(original.latency, original.bandwidth, loss_rate)
+    _install_link(network, target, burst)
+    if clear_after is not None:
+        system.sim.schedule(
+            clear_after, _install_link, (network, target, original))
+
+
+def _install_link(network, target, spec):
+    if target == "wan":
+        network.wan = spec
+    else:
+        network.sites[target].lan = spec

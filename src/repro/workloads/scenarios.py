@@ -70,6 +70,25 @@ def scaling_scenario(device_count, requests_per_type, site_count=1):
     )
 
 
+def chaos_scenario(requests_per_type=8, device_count=4, site_count=2):
+    """A two-site workload for the chaos-fault harness.
+
+    Cross-site WAN traffic is what loss bursts and the reliable channel
+    act on; pair with a :class:`~repro.workloads.faults.FaultPlan` (e.g.
+    :func:`~repro.workloads.faults.chaos_plan`) and
+    ``GridTopologySpec(reliability=True, heartbeat_interval=...)``.
+    """
+    return Scenario(
+        "chaos-d%d-r%d" % (device_count, requests_per_type),
+        devices=_device_population(device_count, site_count),
+        mix=RequestMix(requests_per_type, requests_per_type,
+                       requests_per_type),
+        description="%d devices over %d sites under injected faults" % (
+            device_count, site_count,
+        ),
+    )
+
+
 def crossover_scenarios(points=(1, 2, 5, 10, 20, 50), device_count=3):
     """Scenarios for the crossover sweep (X1): growing request volume."""
     return [

@@ -174,6 +174,91 @@ class TestFaultTolerance:
         assert system.root.reports_issued >= 1
 
 
+class TestHeartbeatFailureDetection:
+    def _hb_spec(self, **overrides):
+        parameters = dict(
+            job_timeout=40.0, dataset_threshold=3, policy="round-robin",
+            heartbeat_interval=2.0,  # timeout derives to 8s
+            analysis_hosts=[
+                HostSpec("inf1", "site1", cpu_capacity=0.5),
+                HostSpec("inf2", "site1", cpu_capacity=10.0),
+            ],
+        )
+        parameters.update(overrides)
+        return small_grid_spec(**parameters)
+
+    def test_heartbeat_defaults_off(self):
+        system = GridManagementSystem(small_grid_spec())
+        system.run(until=20)
+        assert system.root.heartbeat_timeout is None
+        assert system.root.heartbeats_received == 0
+        assert all(a.heartbeats_sent == 0 for a in system.analyzers)
+
+    def test_heartbeats_flow_when_enabled(self):
+        system = GridManagementSystem(self._hb_spec())
+        system.run(until=20)
+        assert system.root.heartbeat_timeout == 8.0
+        assert all(a.heartbeats_sent >= 5 for a in system.analyzers)
+        assert system.root.heartbeats_received >= 10
+        assert system.root.containers_evicted == 0
+
+    def test_eviction_beats_the_reaper(self):
+        # Same setup as the Reaper re-dispatch test, but with heartbeats
+        # the dead container is evicted within the heartbeat timeout --
+        # well under half the job timeout -- instead of waiting out the
+        # job deadline.
+        system = GridManagementSystem(self._hb_spec())
+        system.assign_goals(system.make_paper_goals(polls_per_type=4))
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=30.0, kind="container_down", target="analysis-1"),
+        ]))
+        assert system.run_until_records(12, timeout=4000)
+        assert system.root.containers_evicted == 1
+        (container, evicted_at), = system.root.evictions
+        assert container == "analysis-1"
+        detection_delay = evicted_at - 30.0
+        assert 0 < detection_delay < system.root.job_timeout / 2
+        assert system.root.jobs_redispatched > 0
+        assert "analysis-1" not in system.root.analyzer_containers()
+
+    def test_returned_container_is_reregistered(self):
+        # Take the container's HOST down (beacons stop, eviction fires),
+        # then bring it back: beacons resume and the root re-registers
+        # the very same container.
+        system = GridManagementSystem(self._hb_spec())
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=10.0, kind="host_down", target="inf1",
+                       clear_after=15.0),
+        ]))
+        system.run(until=60)
+        assert system.root.containers_evicted >= 1
+        assert system.root.containers_recovered >= 1
+        assert "analysis-1" in system.root.analyzer_containers()
+
+    def test_all_containers_dead_finalizes_with_error_report(self):
+        # Grid-root exhaustion: every analyzer container dies mid-run.
+        # The root must abandon gracefully -- report finalized with an
+        # analysis-abandoned error finding -- and must not hang.
+        system = GridManagementSystem(self._hb_spec())
+        system.root.placement_patience = 15.0
+        system.root.max_attempts = 2
+        system.assign_goals(system.make_paper_goals(polls_per_type=1))
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=6.0, kind="container_down", target="analysis-1"),
+            FaultEvent(at=6.0, kind="container_down", target="analysis-2"),
+        ]))
+        system.run(until=600)
+        assert system.root.containers_evicted == 2
+        assert system.root.jobs_abandoned > 0
+        assert system.root.reports_issued >= 1
+        kinds = {f.kind for f in system.interface.all_findings()}
+        assert "analysis-abandoned" in kinds
+        abandoned = [f for f in system.interface.all_findings()
+                     if f.kind == "analysis-abandoned"]
+        assert all(f.severity == "major" for f in abandoned)
+        assert all("reason" in f.detail for f in abandoned)
+
+
 class TestFeedbackLoop:
     def test_learned_rule_applies_to_later_datasets(self):
         from repro.rules.conditions import GT, Pattern, Var

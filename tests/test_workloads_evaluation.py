@@ -104,6 +104,41 @@ class TestFaultEvents:
         with pytest.raises(ValueError):
             FaultEvent(at=0, kind="locusts", target="d")
 
+    def test_clear_after_rejected_on_kill_kinds(self):
+        # killed containers/agents do not resurrect
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="container_down", target="c",
+                       clear_after=5.0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="agent_down", target="a", clear_after=5.0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="host_down", target="h", clear_after=0)
+        # but host reboots and device/burst recovery are modelled
+        assert FaultEvent(at=0, kind="host_down", target="h",
+                          clear_after=5.0).clear_after == 5.0
+        assert FaultEvent(at=0, kind="cpu_runaway", target="d",
+                          clear_after=5.0).clear_after == 5.0
+
+    def test_interface_only_on_interface_down(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="cpu_runaway", target="d", interface=0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="container_down", target="c", interface=1)
+        assert FaultEvent(at=0, kind="interface_down", target="d",
+                          interface=1).interface == 1
+
+    def test_loss_rate_only_on_link_loss_burst(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="link_loss_burst", target="wan")
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="link_loss_burst", target="wan",
+                       loss_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="host_down", target="h", loss_rate=0.1)
+        event = FaultEvent(at=0, kind="link_loss_burst", target="wan",
+                           loss_rate=0.05, clear_after=10.0)
+        assert event.loss_rate == 0.05
+
     def test_plan_sorts_by_time(self):
         from repro.workloads.faults import FaultPlan
 
@@ -114,6 +149,117 @@ class TestFaultEvents:
         assert [event.at for event in plan] == [1, 5]
         plan.add(FaultEvent(at=3, kind="disk_filling", target="d"))
         assert [event.at for event in plan] == [1, 3, 5]
+
+    def test_chaos_plan_composition(self):
+        from repro.workloads.faults import chaos_plan
+
+        plan = chaos_plan(collector_host="col-host")
+        kinds = [event.kind for event in plan]
+        assert kinds == ["link_loss_burst", "container_down", "host_down"]
+        assert len(chaos_plan()) == 2  # no collector host -> no host bounce
+
+
+class TestChaosFaultApplication:
+    def _system(self):
+        from repro.core.system import (
+            DeviceSpec, GridManagementSystem, GridTopologySpec, HostSpec,
+        )
+
+        spec = GridTopologySpec(
+            devices=[DeviceSpec("dev1", "server", "field")],
+            collector_hosts=[HostSpec("col1", "field")],
+            analysis_hosts=[HostSpec("inf1", "mgmt")],
+            storage_host=HostSpec("stor", "mgmt"),
+            interface_host=HostSpec("iface", "mgmt"),
+            seed=3,
+        )
+        return GridManagementSystem(spec)
+
+    def test_container_down_kills_only_the_container(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        host = system.network.host("stor")
+        # storage host carries the storage container AND the root agents
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="container_down", target="analysis-1"),
+        ]))
+        system.run(until=5)
+        assert not system.analysis_containers[0].alive
+        assert system.network.host("inf1").up  # host survives
+        assert host.up
+
+    def test_host_down_with_recovery(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="host_down", target="inf1",
+                       clear_after=4.0),
+        ]))
+        system.run(until=2)
+        assert not system.network.host("inf1").up
+        system.run(until=10)
+        assert system.network.host("inf1").up
+        # the container itself was never killed
+        assert system.analysis_containers[0].alive
+
+    def test_agent_down_removes_single_agent(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="agent_down", target="classifier"),
+        ]))
+        system.run(until=5)
+        assert system.platform.agent("classifier") is None
+        # co-located agents in the same container keep running
+        assert system.platform.agent("pg-root") is not None
+        assert system.storage_container.alive
+
+    def test_link_loss_burst_spikes_and_restores(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        original_wan = system.network.wan
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="link_loss_burst", target="wan",
+                       loss_rate=0.5, clear_after=3.0),
+        ]))
+        system.run(until=2)
+        assert system.network.wan.loss_rate == 0.5
+        assert system.network.wan is not original_wan  # swapped, not mutated
+        system.run(until=10)
+        assert system.network.wan is original_wan
+
+    def test_site_lan_burst(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="link_loss_burst", target="mgmt",
+                       loss_rate=0.2),
+        ]))
+        system.run(until=2)
+        assert system.network.sites["mgmt"].lan.loss_rate == 0.2
+
+    def test_unknown_targets_raise_before_running(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        for kind, target in (
+            ("agent_down", "ghost"),
+            ("host_down", "ghost-host"),
+        ):
+            with pytest.raises(KeyError):
+                apply_fault_plan(system, FaultPlan([
+                    FaultEvent(at=1.0, kind=kind, target=target),
+                ]))
+        with pytest.raises(KeyError):
+            apply_fault_plan(system, FaultPlan([
+                FaultEvent(at=1.0, kind="link_loss_burst", target="ghost",
+                           loss_rate=0.1),
+            ]))
 
 
 class TestAccounting:
