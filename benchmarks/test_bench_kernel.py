@@ -241,15 +241,47 @@ def test_bench_bigtopo_wallclock():
            result.system.transport.stats()["sent"]))
 
 
-def test_bench_figure6c_wallclock():
-    """End-to-end wall clock for the paper's Figure-6c agent-grid run."""
+def test_bench_zero_delay_telemetry_throughput():
+    """The zero-delay chain with a telemetry session attached.
+
+    The flight recorder must be pay-for-what-you-trace: attaching a
+    :class:`Telemetry` (profiler off -- spans and metrics are passive
+    bookkeeping that the kernel never touches) should leave the hot loop's
+    throughput within noise of the plain run above.  The CI overhead gate
+    (``benchmarks/check_telemetry_overhead.py``) compares the two.
+    """
+    from repro.simkernel.telemetry import Telemetry
+
+    def work():
+        sim = Simulator(seed=SEED)
+        Telemetry(sim)  # attached, profiler off: the production default
+        for index in range(PENDING_TIMERS):
+            sim.schedule(1e9 + index, _noop)
+        remaining = [ZERO_DELAY_EVENTS]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(0.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=1.0)
+        assert remaining[0] == 0
+
+    rate, elapsed = _best_rate(work, ZERO_DELAY_EVENTS)
+    _RESULTS["zero_delay_telemetry_events_per_sec"] = rate
+    print("zero-delay events/sec with telemetry: %.0f (%.3fs for %d)" %
+          (rate, elapsed, ZERO_DELAY_EVENTS))
+
+
+def _figure6c_wallclock(telemetry):
     from repro.baselines.driver import run_architecture
     from repro.core.system import GridTopologySpec
 
     best = None
     for _ in range(ROUNDS):
-        spec = GridTopologySpec.paper_figure6c(seed=SEED,
-                                               dataset_threshold=30)
+        spec = GridTopologySpec.paper_figure6c(
+            seed=SEED, dataset_threshold=30, telemetry=telemetry)
         start = time.perf_counter()
         result = run_architecture(spec, "grid", polls_per_type=10,
                                   timeout=4000)
@@ -257,8 +289,22 @@ def test_bench_figure6c_wallclock():
         assert result.completed
         if best is None or elapsed < best:
             best = elapsed
+    return best
+
+
+def test_bench_figure6c_wallclock():
+    """End-to-end wall clock for the paper's Figure-6c agent-grid run."""
+    best = _figure6c_wallclock(telemetry=False)
     _RESULTS["figure6c_wall_seconds"] = best
     print("figure6c wall clock: %.3fs" % best)
+
+
+def test_bench_figure6c_telemetry_wallclock():
+    """Figure-6c with the full flight recorder on: spans at every stage,
+    labelled metric sources, dead-letter hooks.  Overhead-gated in CI."""
+    best = _figure6c_wallclock(telemetry=True)
+    _RESULTS["figure6c_telemetry_wall_seconds"] = best
+    print("figure6c wall clock with telemetry: %.3fs" % best)
 
 
 def test_bench_kernel_export():
@@ -273,6 +319,8 @@ def test_bench_kernel_export():
         "bigtopo_wall_seconds",
         "bigtopo_sim_seconds_per_wall_second",
         "figure6c_wall_seconds",
+        "zero_delay_telemetry_events_per_sec",
+        "figure6c_telemetry_wall_seconds",
     }
     missing = expected - set(_RESULTS)
     assert not missing, "benches did not run: %s" % sorted(missing)

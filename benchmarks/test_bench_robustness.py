@@ -14,6 +14,11 @@ Acceptance (ISSUE 3): zero silent record loss -- every record shipped is
 either classified or dead-lettered with accounting; every dataset the
 classifier published is finalized into a report; heartbeat eviction beats
 ``job_timeout / 2``.  Metrics land in ``BENCH_robustness.json``.
+
+The flight recorder rides along (ISSUE 4): every shipped batch must leave
+a complete causal span chain or terminate in an explicitly-statused
+dead-letter/abandoned span -- zero orphans -- and the Chrome-trace
+timeline is exported to ``TRACE_robustness.json`` for artifact upload.
 """
 
 import os
@@ -32,6 +37,7 @@ from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
 from conftest import RESULTS_DIR, emit
 
 BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_robustness.json")
+TRACE_PATH = os.path.join(RESULTS_DIR, "TRACE_robustness.json")
 
 BASE_LOSS = 0.02
 BURST_LOSS = 0.05
@@ -63,6 +69,7 @@ def _build_system(seed=3):
         heartbeat_interval=HEARTBEAT_INTERVAL,
         reliability={"ack_timeout": 2.0, "backoff": 2.0, "max_attempts": 6},
         wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=BASE_LOSS),
+        telemetry=True,
     )
     return GridManagementSystem(spec)
 
@@ -112,7 +119,12 @@ def run_chaos(seed=3, timeout=2000.0):
     evictions = system.root.evictions
     detection_delay = (evictions[0][1] - KILL_AT) if evictions else -1.0
     dead_records = _dead_letter_records(channel)
+    pipeline = system.telemetry.pipeline_report()
     return {
+        "pipeline": pipeline,
+        "chrome_trace": system.telemetry.chrome_trace(),
+        "span_count": len(system.telemetry.recorder),
+        "spans_dropped": system.telemetry.recorder.dropped,
         "drained": _drained(system),
         "makespan": max(
             (r.generated_at for r in system.interface.reports), default=0.0),
@@ -161,6 +173,10 @@ def test_chaos_harness(once):
             ("duplicate drops", result["dup_drops"]),
             ("mean ack latency (s)", "%.2f" % result["mean_ack_latency"]),
             ("makespan (s)", "%.1f" % result["makespan"]),
+            ("trace chains complete / shipped", "%d / %d" % (
+                result["pipeline"]["complete"],
+                result["pipeline"]["batches"])),
+            ("trace orphan spans", len(result["pipeline"]["orphans"])),
         ],
         title="X7: chaos run (%.0f%% WAN loss burst, host outage, "
               "container kill)" % (BURST_LOSS * 100),
@@ -179,6 +195,22 @@ def test_chaos_harness(once):
     # -- the chaos was real: loss forced the channel to work -------------
     assert result["retransmits"] > 0
     assert result["acked"] > 0
+    # -- flight recorder: every shipped batch's causal chain is either
+    #    complete or terminates in an explicit dead-letter/abandoned span,
+    #    and no span dangles from an unrecorded parent ------------------
+    pipeline = result["pipeline"]
+    assert result["spans_dropped"] == 0
+    assert pipeline["batches"] > 0
+    assert pipeline["incomplete"] == []
+    assert pipeline["orphans"] == []
+    assert pipeline["open"] == []
+    assert pipeline["complete"] == pipeline["batches"]
+    # -- the exported timeline is valid Chrome Trace Event Format --------
+    trace = result["chrome_trace"]
+    assert trace["traceEvents"]
+    assert all(event["ph"] in ("X", "M") for event in trace["traceEvents"])
+    dump_json(trace, TRACE_PATH)
+    assert os.path.exists(TRACE_PATH)
     payload = bench_to_dict(
         "robustness",
         metrics={
@@ -192,6 +224,10 @@ def test_chaos_harness(once):
             "dup_drops": result["dup_drops"],
             "mean_ack_latency": result["mean_ack_latency"],
             "makespan": result["makespan"],
+            "trace_batches": result["pipeline"]["batches"],
+            "trace_chains_complete": result["pipeline"]["complete"],
+            "trace_orphan_spans": len(result["pipeline"]["orphans"]),
+            "trace_spans": result["span_count"],
         },
         context={
             "seed": 3,

@@ -117,10 +117,15 @@ class ACLMessage:
                 size_units = DEFAULT_ACL_SIZE
         self.size_units = float(size_units)
         self.sent_at = None
+        #: Optional causal-tracing context: a ``(trace_id, span_id)`` tuple
+        #: naming the in-flight span this message belongs to (see
+        #: :mod:`repro.simkernel.telemetry`).  ``None`` when telemetry is
+        #: off -- the envelope then carries no tracing state at all.
+        self.trace_context = None
 
     def make_reply(self, performative, content=None, size_units=None):
         """A reply in the same conversation, addressed back to the sender."""
-        return ACLMessage(
+        reply = ACLMessage(
             performative,
             sender=self.receiver,
             receiver=self.sender,
@@ -131,6 +136,10 @@ class ACLMessage:
             in_reply_to=self.reply_with,
             size_units=size_units,
         )
+        # Replies stay on the conversation's trace so request/response
+        # pairs (storage fetches, confirmations) correlate end to end.
+        reply.trace_context = self.trace_context
+        return reply
 
     def __repr__(self):
         return "ACLMessage(%s %s->%s, conv=%s)" % (

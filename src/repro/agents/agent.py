@@ -60,6 +60,12 @@ class Agent:
     def disk(self):
         return self.container.host.disk
 
+    @property
+    def telemetry(self):
+        """The platform's flight recorder, or ``None`` when telemetry is
+        off (callers must guard -- the off path stays zero-overhead)."""
+        return self.container.platform.telemetry
+
     # -- lifecycle -----------------------------------------------------------
 
     def setup(self):

@@ -38,7 +38,7 @@ class AgentPlatform:
     ACL_PORT = "acl"
 
     def __init__(self, sim, network, transport, name="repro-platform",
-                 reliable_channel=None):
+                 reliable_channel=None, telemetry=None):
         self.sim = sim
         self.network = network
         self.transport = transport
@@ -48,6 +48,10 @@ class AgentPlatform:
         #: wire messages through it (acks + retransmission + dead-letter
         #: accounting) instead of fire-and-forget posting.
         self.reliable_channel = reliable_channel
+        #: Optional :class:`~repro.simkernel.telemetry.Telemetry` flight
+        #: recorder shared by every agent on the platform.  ``None`` (the
+        #: default) keeps the hot paths span-free.
+        self.telemetry = telemetry
         self.containers = {}
         self._agents = {}  # name -> agent
         self._bound_hosts = set()

@@ -7,6 +7,7 @@ Installed as the ``repro-sim`` console script::
     repro-sim crossover --points 1 5 10 20
     repro-sim federation --mode integrated
     repro-sim quickstart --json out.json
+    repro-sim trace --out trace.json --metrics metrics.json
 
 Every subcommand prints the paper-style tables; ``--json PATH`` also dumps
 machine-readable results.
@@ -93,6 +94,59 @@ def _cmd_quickstart(args):
     if args.json:
         export.dump_json(export.run_result_to_dict(result), args.json)
     return 0
+
+
+def _cmd_trace(args):
+    from repro.core.system import GridTopologySpec, GridManagementSystem
+
+    telemetry_options = {"profile": args.profile}
+    spec = GridTopologySpec.paper_figure6c(
+        seed=args.seed,
+        dataset_threshold=args.polls * 3,
+        telemetry=telemetry_options,
+        reliability=args.reliable,
+    )
+    system = GridManagementSystem(spec)
+    system.assign_goals(system.make_paper_goals(polls_per_type=args.polls))
+    total = args.polls * 3
+    completed = system.run_until_records(total, timeout=3000)
+    system.stop_devices()
+    telemetry = system.telemetry
+    pipeline = telemetry.pipeline_report()
+    print(format_table(
+        ("stage", "spans", "open", "total s"),
+        [(name, count, open_count, format_number(duration))
+         for name, count, open_count, duration
+         in telemetry.recorder.summary_rows()],
+        title="span summary (%d spans, %d traces):" % (
+            len(telemetry.recorder), telemetry.recorder.trace_count,
+        ),
+    ))
+    print()
+    print("pipeline: %d batches shipped, %d chains complete, "
+          "%d incomplete, %d orphan spans, %d open spans" % (
+              pipeline["batches"], pipeline["complete"],
+              len(pipeline["incomplete"]), len(pipeline["orphans"]),
+              len(pipeline["open"])))
+    for trace_id, stage, why in pipeline["incomplete"]:
+        print("  incomplete %s at %s: %s" % (trace_id, stage, why))
+    if telemetry.profiler is not None:
+        print()
+        print(format_table(
+            ("callback", "events", "total s"),
+            [(name, count, "%.4f" % total_seconds)
+             for name, count, total_seconds in telemetry.profiler.top(10)],
+            title="kernel profile (hottest callbacks):",
+        ))
+    if args.out:
+        export.dump_json(telemetry.chrome_trace(), args.out)
+        print()
+        print("chrome trace written to %s "
+              "(load in chrome://tracing or ui.perfetto.dev)" % args.out)
+    if args.metrics:
+        export.dump_json(telemetry.metrics_snapshot(), args.metrics)
+        print("metrics snapshot written to %s" % args.metrics)
+    return 0 if completed else 1
 
 
 def _cmd_crossover(args):
@@ -184,6 +238,20 @@ def build_parser():
     _add_common(quickstart)
     quickstart.add_argument("--polls", type=int, default=10)
     quickstart.set_defaults(handler=_cmd_quickstart)
+
+    trace = subparsers.add_parser(
+        "trace", help="run the Figure 6(c) grid with the flight recorder on")
+    _add_common(trace)
+    trace.add_argument("--polls", type=int, default=10)
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write the Chrome-trace/Perfetto timeline here")
+    trace.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the labelled metrics snapshot here")
+    trace.add_argument("--profile", action="store_true",
+                       help="also profile kernel callbacks (slower)")
+    trace.add_argument("--reliable", action="store_true",
+                       help="route critical sends over the reliable channel")
+    trace.set_defaults(handler=_cmd_trace)
 
     crossover = subparsers.add_parser(
         "crossover", help="sweep workload volume across architectures")

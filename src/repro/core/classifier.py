@@ -95,6 +95,8 @@ class ClassifierAgent(Agent):
         self._last_arrival = 0.0
         # last seen (time, value) per counter series, for rate derivation
         self._counter_state = {}
+        # classify spans feeding the open dataset: [(trace_id, span_id)]
+        self._open_contributors = []
 
     def setup(self):
         if self.store.host is not self.host:
@@ -114,13 +116,28 @@ class ClassifierAgent(Agent):
                 if message is None:
                     agent._flush_if_stale()
                     return
-                yield from agent._classify_batch(message.content["records"])
+                yield from agent._classify_batch(
+                    message.content["records"], message=message,
+                )
 
         self.add_behaviour(Classify("classify"))
 
     # -- pipeline ---------------------------------------------------------
 
-    def _classify_batch(self, records):
+    def _classify_batch(self, records, message=None):
+        span = None
+        telemetry = self.telemetry
+        if telemetry is not None and message is not None \
+                and message.trace_context is not None:
+            # The batch made it across the wire: close its ship span and
+            # open the classify leg underneath it.
+            recorder = telemetry.recorder
+            trace_id, ship_id = message.trace_context
+            recorder.end(ship_id)
+            span = recorder.start(
+                "classify", trace_id, parent=ship_id, grid="classifier",
+                host=self.host.name, agent=self.name, records=len(records),
+            )
         parsed_records = []
         parse_costs = self.cost_model.parse_costs
         for record in records:
@@ -148,6 +165,9 @@ class ClassifierAgent(Agent):
         self._open_count += len(parsed_records)
         self.records_classified += len(parsed_records)
         self._last_arrival = self.sim.now
+        if span is not None:
+            telemetry.recorder.end(span, dataset=dataset_id)
+            self._open_contributors.append((span.trace_id, span.span_id))
         if (
             self.dataset_threshold is not None
             and self._open_count >= self.dataset_threshold
@@ -211,18 +231,35 @@ class ClassifierAgent(Agent):
         # when several notifies leave for the same host in one instant);
         # a lost DATA_READY would orphan the whole dataset, so it goes
         # through the reliable channel when one is installed.
-        self.send_batch_reliable([ACLMessage(
+        message = ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.processor_name,
             content=dict(content),
             ontology=DATA_READY.name,
             size_units=self.cost_model.notify_size,
-        )])
+        )
+        telemetry = self.telemetry
+        if telemetry is not None and self._open_contributors:
+            # Merge point: many classified batches close into one dataset.
+            # The notify span takes the first contributor as its parent and
+            # links the rest, so every batch's chain flows through it.
+            recorder = telemetry.recorder
+            first_trace, first_span = self._open_contributors[0]
+            notify = recorder.start(
+                "notify", first_trace, parent=first_span, grid="classifier",
+                host=self.host.name, agent=self.name,
+                dataset=self._open_dataset, records=self._open_count,
+            )
+            if notify is not None:
+                recorder.link(notify, self._open_contributors[1:])
+                message.trace_context = (first_trace, notify.span_id)
+        self.send_batch_reliable([message])
         self.datasets_published += 1
         self._open_dataset = None
         self._open_count = 0
         self._open_cluster_counts = {}
+        self._open_contributors = []
 
     def force_publish(self):
         """Close the open dataset immediately (drivers use this at end)."""

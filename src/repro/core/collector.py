@@ -156,14 +156,37 @@ class CollectorAgent(Agent):
         # the same classifier host travel as one aggregate wire transfer.
         # Reliable variant: with a channel installed the envelope is acked,
         # retransmitted on loss and dead-lettered (never silently lost).
-        self.send_batch_reliable([ACLMessage(
+        message = ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.classifier_name,
             content={"op": "classify-batch", "records": records},
             ontology="collected-batch",
             size_units=wire_units,
-        )])
+        )
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # One trace per shipped batch: a closed "collect" span covering
+            # poll time, and an open "ship" span the classifier (or the
+            # dead-letter hook) will close.  The envelope names the ship
+            # span so the receiving end can pick up the chain.
+            recorder = telemetry.recorder
+            trace_id = recorder.new_trace()
+            collect = recorder.start(
+                "collect", trace_id, grid="collector", host=self.host.name,
+                agent=self.name,
+                t_start=min(record.collected_at for record in records),
+                records=len(records),
+            )
+            recorder.end(collect)
+            ship = recorder.start(
+                "ship", trace_id, parent=collect, grid="collector",
+                host=self.host.name, agent=self.name,
+                records=len(records), size_units=wire_units,
+            )
+            if ship is not None:
+                message.trace_context = (trace_id, ship.span_id)
+        self.send_batch_reliable([message])
         self.records_shipped += len(records)
 
     def _buffer_and_ship(self, record, force=False):

@@ -101,7 +101,9 @@ class InterfaceAgent(Agent):
                     ontology="management-report",
                 ))
                 if message is not None:
-                    yield from interface._handle_report(message.content["report"])
+                    yield from interface._handle_report(
+                        message.content["report"], message=message,
+                    )
 
         class Subscriptions(CyclicBehaviour):
             """FIPA SUBSCRIBE: user agents register for alert pushes."""
@@ -119,7 +121,7 @@ class InterfaceAgent(Agent):
 
     # -- report handling -----------------------------------------------------
 
-    def _handle_report(self, report):
+    def _handle_report(self, report, message=None):
         from repro.core.reports import severity_rank
 
         for channel in self.channels:
@@ -138,6 +140,14 @@ class InterfaceAgent(Agent):
                     channel.deliver_alert(alert)
                 self._push_alert(alert)
         self.reports.append(report)
+        telemetry = self.telemetry
+        if telemetry is not None and message is not None \
+                and message.trace_context is not None:
+            # Last stop of the pipeline: the report span closes once the
+            # report is rendered and every alert has gone out.
+            telemetry.recorder.end(
+                message.trace_context[1], findings=len(report.findings),
+            )
         self._notify_report_waiters()
 
     def _push_alert(self, alert):

@@ -57,6 +57,7 @@ class _JobState:
         self.attempt = attempt
         self.done = False
         self.excluded_containers = set()
+        self.span = None  # the dispatch span for this attempt (telemetry)
 
 
 class _DatasetState:
@@ -71,6 +72,7 @@ class _DatasetState:
         self.records_analyzed = 0
         self.cross_dispatched = False
         self.finished = False
+        self.trace = None  # (trace_id, notify span id) from the classifier
 
 
 class ProcessorRootAgent(Agent):
@@ -243,6 +245,12 @@ class ProcessorRootAgent(Agent):
         state = _DatasetState(
             dataset_id, content["record_count"], content["storage_host"], clusters,
         )
+        telemetry = self.telemetry
+        if telemetry is not None and message.trace_context is not None:
+            # The DATA_READY survived the wire: close the notify span and
+            # hang every dispatch/report span for this dataset under it.
+            telemetry.recorder.end(message.trace_context[1])
+            state.trace = message.trace_context
         self.datasets[dataset_id] = state
         for cluster in clusters:
             record_count = int(sizes.get(cluster, 0)) or max(
@@ -291,6 +299,17 @@ class ProcessorRootAgent(Agent):
                 GROUP_REQUEST_TYPES[group]).cpu
             cpu_units = infer_cpu * max(1, record_count)
         job_id = "job-%d" % next(ProcessorRootAgent._job_ids)
+        span = None
+        telemetry = self.telemetry
+        if telemetry is not None and state.trace is not None:
+            # One dispatch span per attempt, covering placement (incl. any
+            # negotiation) through to the job's settlement: "ok" on result,
+            # "timeout"/"evicted" when the attempt is retired.
+            span = telemetry.recorder.start(
+                "dispatch", state.trace[0], parent=state.trace[1],
+                grid="processor", host=self.host.name, agent=self.name,
+                job_id=job_id, cluster=cluster, level=level, attempt=attempt,
+            )
         placement = PlacementJob(
             job_id, cluster, record_count, cpu_units,
             required_service="analysis",
@@ -299,6 +318,11 @@ class ProcessorRootAgent(Agent):
         wait_deadline = self.sim.now + self.placement_patience
         while container_name is None:
             if self.sim.now >= wait_deadline:
+                if span is not None:
+                    telemetry.recorder.end(
+                        span, status="abandoned",
+                        reason="no placeable analyzer container",
+                    )
                 yield from self._abandon_placement(dataset_id, cluster, level)
                 return None
             profiles = self._fresh_profiles(exclude=exclude)
@@ -358,18 +382,23 @@ class ProcessorRootAgent(Agent):
             deadline=self.sim.now + service_estimate + grace, attempt=attempt,
         )
         job_state.excluded_containers = set(exclude)
+        job_state.span = span
         self.jobs[job_id] = job_state
         self._outstanding_by_container[container_name] = (
             self._outstanding_by_container.get(container_name, 0) + 1
         )
-        self.send(ACLMessage(
+        message = ACLMessage(
             Performative.REQUEST,
             sender=self.name,
             receiver=agent_name,
             content=dict(job_content),
             ontology=ANALYSIS_JOB.name,
             size_units=self.cost_model.notify_size,
-        ))
+        )
+        if span is not None:
+            span.detail["container"] = container_name
+            message.trace_context = (span.trace_id, span.span_id)
+        self.send(message)
         self.jobs_dispatched += 1
         if attempt > 1:
             self.jobs_redispatched += 1
@@ -383,6 +412,8 @@ class ProcessorRootAgent(Agent):
         if job is None or job.done:
             return  # late duplicate from a re-dispatched job
         job.done = True
+        if job.span is not None:
+            self.telemetry.recorder.end(job.span)
         self._settle_outstanding(job.container)
         state = self.datasets.get(job.dataset_id)
         if state is None or state.finished:
@@ -415,14 +446,26 @@ class ProcessorRootAgent(Agent):
             records_analyzed=state.records_analyzed,
             generated_at=self.sim.now,
         )
-        self.send(ACLMessage(
+        message = ACLMessage(
             Performative.INFORM,
             sender=self.name,
             receiver=self.interface_name,
             content={"report": report},
             ontology="management-report",
             size_units=self.cost_model.report_size,
-        ))
+        )
+        telemetry = self.telemetry
+        if telemetry is not None and state.trace is not None:
+            # The report span covers wire transit + interface rendering;
+            # the interface agent closes it on delivery.
+            span = telemetry.recorder.start(
+                "report", state.trace[0], parent=state.trace[1],
+                grid="processor", host=self.host.name, agent=self.name,
+                dataset=state.dataset_id, findings=len(state.findings),
+            )
+            if span is not None:
+                message.trace_context = (span.trace_id, span.span_id)
+        self.send(message)
         self.reports_issued += 1
         return
         yield  # pragma: no cover - keeps this a generator for symmetry
@@ -469,6 +512,19 @@ class ProcessorRootAgent(Agent):
         rather than silent.
         """
         self.jobs_abandoned += 1
+        telemetry = self.telemetry
+        if telemetry is not None and state.trace is not None:
+            # An explicitly-statused terminal span: the cluster's chain
+            # ends here on purpose, not by omission.
+            recorder = telemetry.recorder
+            recorder.end(
+                recorder.start(
+                    "abandoned", state.trace[0], parent=state.trace[1],
+                    grid="processor", host=self.host.name, agent=self.name,
+                    cluster=cluster, level=level, reason=reason,
+                ),
+                status="abandoned",
+            )
         state.findings.append(Finding(
             kind="analysis-abandoned",
             severity="major",
@@ -532,6 +588,10 @@ class ProcessorRootAgent(Agent):
             if job.done or job.container != container_name:
                 continue
             job.done = True
+            if job.span is not None:
+                self.telemetry.recorder.end(job.span, status="evicted")
+                self.telemetry.recorder.end_children(
+                    job.span, status="evicted")
             self._settle_outstanding(container_name)
             state = self.datasets.get(job.dataset_id)
             if state is None or state.finished:
@@ -555,6 +615,10 @@ class ProcessorRootAgent(Agent):
         ]
         for job in expired:
             job.done = True  # retire this attempt
+            if job.span is not None:
+                self.telemetry.recorder.end(job.span, status="timeout")
+                self.telemetry.recorder.end_children(
+                    job.span, status="timeout")
             self._settle_outstanding(job.container)
             state = self.datasets.get(job.dataset_id)
             if state is None or state.finished:
@@ -701,6 +765,16 @@ class AnalyzerAgent(Agent):
 
     def _run_job(self, message):
         content = ANALYSIS_JOB.validate(message.content)
+        span = None
+        telemetry = self.telemetry
+        if telemetry is not None and message.trace_context is not None:
+            trace_id, dispatch_id = message.trace_context
+            span = telemetry.recorder.start(
+                "analyze", trace_id, parent=dispatch_id, grid="processor",
+                host=self.host.name, agent=self.name,
+                job_id=content["job_id"], cluster=content["cluster"],
+                level=content["level"],
+            )
         self.container.busy_agents += 1
         try:
             if content["level"] >= 3:
@@ -724,6 +798,10 @@ class AnalyzerAgent(Agent):
             ontology=ANALYSIS_RESULT.name,
             size_units=self.cost_model.notify_size + 0.1 * len(findings),
         ))
+        if span is not None:
+            telemetry.recorder.end(
+                span, findings=len(findings), records=analyzed,
+            )
 
     def _fetch(self, storage_query, size_units, conversation_tag):
         """QUERY_REF to the storage agent; returns the INFORM content."""

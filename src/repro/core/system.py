@@ -82,6 +82,13 @@ class GridTopologySpec:
             disables heartbeating).
         heartbeat_timeout: root-side silence threshold before a container
             is evicted; defaults to 4x the interval when heartbeating is on.
+        telemetry: ``False`` (default) runs with zero tracing state;
+            ``True`` installs a
+            :class:`~repro.simkernel.telemetry.Telemetry` flight recorder
+            (causal spans through the whole pipeline + a session metric
+            registry); a dict supplies its keyword arguments
+            (``capacity``, ``profile``).  Telemetry is passive -- the
+            simulation's behaviour and outputs are identical either way.
     """
 
     def __init__(
@@ -106,6 +113,7 @@ class GridTopologySpec:
         reliability=False,
         heartbeat_interval=None,
         heartbeat_timeout=None,
+        telemetry=False,
     ):
         if not devices:
             raise ValueError("at least one device is required")
@@ -147,6 +155,7 @@ class GridTopologySpec:
         if heartbeat_timeout is None and heartbeat_interval is not None:
             heartbeat_timeout = 4.0 * heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.telemetry = telemetry
 
     @classmethod
     def paper_figure6c(cls, seed=0, **overrides):
@@ -189,6 +198,15 @@ class GridManagementSystem:
         self.sim = Simulator(seed=spec.seed)
         self.network = Network(self.sim, wan=spec.wan)
         self.transport = Transport(self.network)
+        self.telemetry = None
+        if spec.telemetry:
+            from repro.simkernel.telemetry import Telemetry
+
+            telemetry_kwargs = (
+                dict(spec.telemetry) if isinstance(spec.telemetry, dict)
+                else {}
+            )
+            self.telemetry = Telemetry(self.sim, **telemetry_kwargs)
         self.reliable_channel = None
         if spec.reliability:
             from repro.network.reliable import ReliableChannel
@@ -197,11 +215,15 @@ class GridManagementSystem:
                 dict(spec.reliability) if isinstance(spec.reliability, dict)
                 else {}
             )
+            if self.telemetry is not None:
+                channel_kwargs.setdefault("metrics", self.telemetry.registry)
+                channel_kwargs.setdefault("metric_labels", {"grid": "network"})
             self.reliable_channel = ReliableChannel(
                 self.transport, **channel_kwargs)
         self.platform = AgentPlatform(
             self.sim, self.network, self.transport,
             reliable_channel=self.reliable_channel,
+            telemetry=self.telemetry,
         )
         self.devices = {}
         self.device_engines = {}
@@ -212,6 +234,8 @@ class GridManagementSystem:
         self._build_interface()
         self._build_processor_grid()
         self._build_collector_grid()
+        if self.telemetry is not None:
+            self._wire_telemetry()
 
     # -- construction ----------------------------------------------------
 
@@ -329,6 +353,96 @@ class GridManagementSystem:
             )
             container.deploy(collector)
             self.collectors.append(collector)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _wire_telemetry(self):
+        """Hook the flight recorder into the deployment.
+
+        Two jobs: terminate in-flight spans when the reliable channel
+        gives up on an envelope (so no batch ever vanishes from the trace
+        tree without an explicit ``dead-letter`` status), and register
+        every component's counters as labelled metric sources for unified
+        snapshots.
+        """
+        recorder = self.telemetry.recorder
+        if self.reliable_channel is not None:
+            previous_hook = self.reliable_channel.on_dead_letter
+
+            def _trace_dead_letter(dead):
+                context = getattr(dead.message.payload, "trace_context", None)
+                if context is not None:
+                    recorder.end(context[1], status="dead-letter",
+                                 reason=dead.reason, attempts=dead.attempts)
+                if previous_hook is not None:
+                    previous_hook(dead)
+
+            self.reliable_channel.on_dead_letter = _trace_dead_letter
+        telemetry = self.telemetry
+        for collector in self.collectors:
+            telemetry.register_source(
+                lambda c=collector: {
+                    "polls_completed": c.polls_completed,
+                    "polls_failed": c.polls_failed,
+                    "poll_retries_used": c.poll_retries_used,
+                    "records_shipped": c.records_shipped,
+                    "messages_sent": c.messages_sent,
+                    "messages_received": c.messages_received,
+                },
+                grid="collector", host=collector.host.name,
+                agent=collector.name,
+            )
+        classifier = self.classifier
+        telemetry.register_source(
+            lambda: {
+                "records_classified": classifier.records_classified,
+                "datasets_published": classifier.datasets_published,
+                "messages_sent": classifier.messages_sent,
+                "messages_received": classifier.messages_received,
+            },
+            grid="classifier", host=classifier.host.name,
+            agent=classifier.name,
+        )
+        root = self.root
+        telemetry.register_source(
+            lambda: {
+                "jobs_dispatched": root.jobs_dispatched,
+                "jobs_redispatched": root.jobs_redispatched,
+                "jobs_abandoned": root.jobs_abandoned,
+                "reports_issued": root.reports_issued,
+                "heartbeats_received": root.heartbeats_received,
+                "containers_evicted": root.containers_evicted,
+                "containers_recovered": root.containers_recovered,
+            },
+            grid="processor", host=root.host.name, agent=root.name,
+        )
+        for analyzer in self.analyzers:
+            telemetry.register_source(
+                lambda a=analyzer: {
+                    "jobs_completed": a.jobs_completed,
+                    "records_analyzed": a.records_analyzed,
+                    "rules_fired": a.rules_fired,
+                    "heartbeats_sent": a.heartbeats_sent,
+                },
+                grid="processor", host=analyzer.host.name,
+                agent=analyzer.name,
+            )
+        interface = self.interface
+        telemetry.register_source(
+            lambda: {
+                "reports": len(interface.reports),
+                "alerts": len(interface.alerts),
+            },
+            grid="interface", host=interface.host.name,
+            agent=interface.name,
+        )
+        telemetry.register_source(self.platform.stats, grid="platform")
+        telemetry.register_source(self.transport.stats, grid="network")
+        if self.reliable_channel is not None:
+            telemetry.register_source(
+                self.reliable_channel.stats, grid="network",
+                agent="reliable-channel",
+            )
 
     # -- goal assignment -------------------------------------------------------
 

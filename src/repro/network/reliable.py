@@ -120,10 +120,18 @@ class ReliableChannel:
         max_attempts: total transmissions (first + retransmits) before a
             message is dead-lettered.
         ack_size_units: network units charged for each ACK message.
+        metrics: optional :class:`~repro.simkernel.metrics.MetricRegistry`;
+            when given, the channel's accounting (sent / retransmits /
+            dup drops / dead letters / acked) is *registered* as live
+            counters there -- labelled by ``metric_labels`` -- so it shows
+            up in telemetry snapshots instead of staying attribute-only.
+        metric_labels: labels dict for the registered counters (e.g.
+            ``{"grid": "network"}``).
     """
 
     def __init__(self, transport, ack_timeout=2.0, backoff=2.0,
-                 max_attempts=6, ack_size_units=0.1):
+                 max_attempts=6, ack_size_units=0.1, metrics=None,
+                 metric_labels=None):
         if ack_timeout <= 0:
             raise ValueError("ack_timeout must be positive")
         if backoff < 1.0:
@@ -154,6 +162,26 @@ class ReliableChannel:
         self.undeliverable = 0        # arrived but original port unbound
         self.latency_sum = 0.0        # first-send -> ack, per acked message
         self.latency_max = 0.0
+        self.bind_metrics(metrics, metric_labels)
+
+    def bind_metrics(self, metrics, labels=None):
+        """Register the channel's counters in a metric registry.
+
+        The attribute accounting stays (cheap, always on); the registry
+        counters mirror it live so snapshots -- and anything else reading
+        the registry -- see retransmissions, duplicate suppressions and
+        dead letters without reaching into channel internals.
+        """
+        if metrics is None:
+            self._m_sent = self._m_delivered = self._m_acked = None
+            self._m_retransmits = self._m_dups = self._m_dead = None
+            return
+        self._m_sent = metrics.counter("reliable.sent", labels)
+        self._m_delivered = metrics.counter("reliable.delivered", labels)
+        self._m_acked = metrics.counter("reliable.acked", labels)
+        self._m_retransmits = metrics.counter("reliable.retransmits", labels)
+        self._m_dups = metrics.counter("reliable.dup_drops", labels)
+        self._m_dead = metrics.counter("reliable.dead_letters", labels)
 
     # -- submission --------------------------------------------------------
 
@@ -192,6 +220,8 @@ class ReliableChannel:
         self._pending[(stream, seq)] = pending
         self._bind_endpoints(message.sender.host, message.dest.host)
         self.messages_sent += 1
+        if self._m_sent is not None:
+            self._m_sent.inc()
         return pending
 
     def _make_wire(self, pending, first):
@@ -200,6 +230,8 @@ class ReliableChannel:
         pending.last_sent = self.sim.now
         if not first:
             self.retransmits += 1
+            if self._m_retransmits is not None:
+                self._m_retransmits.inc()
         message = pending.message
         envelope = Envelope(
             pending.stream, pending.seq, message.dest.port,
@@ -228,6 +260,8 @@ class ReliableChannel:
             dead = DeadLetter(pending, self.sim.now,
                               "no ack after %d attempts" % pending.attempts)
             self.dead_letters.append(dead)
+            if self._m_dead is not None:
+                self._m_dead.inc()
             if self.on_dead_letter is not None:
                 self.on_dead_letter(dead)
             return
@@ -243,6 +277,8 @@ class ReliableChannel:
         if pending.timer is not None:
             pending.timer.cancel()
         self.messages_acked += 1
+        if self._m_acked is not None:
+            self._m_acked.inc()
         latency = self.sim.now - pending.first_sent
         self.latency_sum += latency
         if latency > self.latency_max:
@@ -260,6 +296,8 @@ class ReliableChannel:
             # Duplicate: the payload was already handed up; the ACK must
             # have been lost, so re-ack without redelivering.
             self.dup_drops += 1
+            if self._m_dups is not None:
+                self._m_dups.inc()
             self._send_ack(wire, stream, seq)
             return
         destination = self.network.hosts.get(wire.dest.host)
@@ -275,6 +313,8 @@ class ReliableChannel:
             return
         seen.add(seq)
         self.messages_delivered += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
         # Restore the original addressing before the handoff so handlers
         # (e.g. AgentPlatform._on_network_message) see a plain delivery.
         wire.dest = Address(wire.dest.host, envelope.port)

@@ -15,6 +15,8 @@ Public surface:
   busy-time ledger.
 * :class:`RngStream` -- named, seed-derived random streams for determinism.
 * :mod:`metrics <repro.simkernel.metrics>` -- time series / counters.
+* :mod:`telemetry <repro.simkernel.telemetry>` -- causal spans, the kernel
+  profiler and the session :class:`Telemetry` flight recorder.
 """
 
 from repro.simkernel.events import EventQueue, ScheduledEvent, SimEvent
@@ -29,12 +31,19 @@ from repro.simkernel.resources import Resource, ResourceKind, Use
 from repro.simkernel.rng import RngStream, derive_seed
 from repro.simkernel.metrics import Counter, Gauge, MetricRegistry, TimeSeries
 from repro.simkernel.trace import SimulationTracer, TraceRecord, trace_transport
+from repro.simkernel.telemetry import (
+    KernelProfiler,
+    Span,
+    SpanRecorder,
+    Telemetry,
+)
 
 __all__ = [
     "Counter",
     "EventQueue",
     "Gauge",
     "Interrupted",
+    "KernelProfiler",
     "MetricRegistry",
     "Process",
     "ProcessKilled",
@@ -46,6 +55,9 @@ __all__ = [
     "SimulationError",
     "SimulationTracer",
     "Simulator",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
     "TraceRecord",
     "trace_transport",
     "TimeSeries",

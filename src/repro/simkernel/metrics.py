@@ -6,7 +6,16 @@ sent, rules fired, jobs dispatched) and time series (queue depth over time)
 through a :class:`MetricRegistry`.
 """
 
+import bisect
 import math
+
+
+def _labeled_name(name, labels):
+    """Canonical registry key for a labelled metric: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join(
+        "%s=%s" % (key, value) for key, value in sorted(labels.items())))
 
 
 class Counter:
@@ -103,6 +112,44 @@ class TimeSeries:
         # clamp: float rounding (e.g. subnormals) must not escape the bracket
         return min(max(interpolated, ordered[low]), ordered[high])
 
+    def snapshot(self, window=None, max_points=None):
+        """A bounded copy of the points: the long-run-safe view.
+
+        ``record`` is O(1) but naive exports copy the whole point list --
+        ruinous on long diurnal (X13) runs where one series accumulates
+        hundreds of thousands of points.  This copies only what leaves:
+
+        * ``window`` -- keep points within the trailing ``window`` seconds
+          of the last observation (located by bisection, so the cost is
+          O(log n + returned), not O(n));
+        * ``max_points`` -- decimate to at most this many points, evenly
+          strided, always keeping the first and last of the selection.
+
+        Both ``None`` returns a plain full copy (the legacy behaviour).
+        """
+        points = self.points
+        if window is not None and points:
+            if window < 0:
+                raise ValueError("window must be >= 0")
+            start = points[-1][0] - window
+            low = bisect.bisect_left(points, (start,))
+            selected_start, selected_end = low, len(points)
+        else:
+            selected_start, selected_end = 0, len(points)
+        count = selected_end - selected_start
+        if max_points is not None and count > max_points:
+            if max_points < 1:
+                raise ValueError("max_points must be >= 1")
+            if max_points == 1:
+                return [points[selected_end - 1]]
+            last = count - 1
+            step = last / (max_points - 1)
+            return [
+                points[selected_start + round(index * step)]
+                for index in range(max_points)
+            ]
+        return points[selected_start:selected_end]
+
     def time_weighted_mean(self, horizon=None):
         """Mean of a step function defined by the observations."""
         if not self.points:
@@ -133,25 +180,37 @@ class MetricRegistry:
         self._gauges = {}
         self._series = {}
 
-    def counter(self, name):
+    def counter(self, name, labels=None):
+        name = _labeled_name(name, labels)
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
-    def gauge(self, name):
+    def gauge(self, name, labels=None):
+        name = _labeled_name(name, labels)
         if name not in self._gauges:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
-    def series(self, name):
+    def series(self, name, labels=None):
+        name = _labeled_name(name, labels)
         if name not in self._series:
             self._series[name] = TimeSeries(name)
         return self._series[name]
 
-    def snapshot(self):
-        """Plain-dict dump of every metric (counters/gauges by value)."""
+    def snapshot(self, series_window=None, series_max_points=None):
+        """Plain-dict dump of every metric (counters/gauges by value).
+
+        ``series_window`` / ``series_max_points`` bound the exported point
+        lists via :meth:`TimeSeries.snapshot` (long diurnal runs would
+        otherwise copy every observation on every snapshot).
+        """
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "series": {n: list(s.points) for n, s in sorted(self._series.items())},
+            "series": {
+                n: s.snapshot(window=series_window,
+                              max_points=series_max_points)
+                for n, s in sorted(self._series.items())
+            },
         }

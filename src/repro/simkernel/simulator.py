@@ -147,6 +147,7 @@ class Simulator:
         self.processes = []
         self._name_counts = {}
         self._trace_hooks = []
+        self._profiler = None
         self._rng_streams = {}
 
     # -- time & events ---------------------------------------------------
@@ -251,6 +252,10 @@ class Simulator:
         pop = queue.pop
         bounded = until is not None or max_events is not None
         hooks = self._trace_hooks
+        profiler = self._profiler
+        if profiler is not None:
+            from time import perf_counter
+            account = profiler.account
         while True:
             if bounded:
                 if until is not None:
@@ -272,12 +277,28 @@ class Simulator:
             if hooks:
                 for hook in hooks:
                     hook(self.now, event)
-            event.callback(*event.args)
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                started = perf_counter()
+                event.callback(*event.args)
+                account(event.callback, perf_counter() - started)
         return self.now
 
     def add_trace_hook(self, hook):
         """Register ``hook(now, scheduled_event)`` called before each event."""
         self._trace_hooks.append(hook)
+
+    def set_profiler(self, profiler):
+        """Install (or, with ``None``, remove) a kernel profiler.
+
+        ``profiler.account(callback, elapsed_seconds)`` is called after
+        every executed event -- see
+        :class:`~repro.simkernel.telemetry.KernelProfiler`.  Off by
+        default; takes effect on the next :meth:`run` call (the loop caches
+        the profiler reference for speed).
+        """
+        self._profiler = profiler
 
     # -- randomness ----------------------------------------------------------
 

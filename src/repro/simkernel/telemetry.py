@@ -1,0 +1,524 @@
+"""Causal tracing + unified telemetry: the pipeline flight recorder.
+
+:mod:`repro.simkernel.trace` answers "what happened, in order?" with a flat
+event log.  This module answers the harder operational question -- "where
+did batch 17 spend its time, and why did it never reach a report?" -- by
+recording **spans**: named intervals with a causal parent, grouped into
+traces that follow one collector batch through the Figure-2 pipeline
+(collect -> ship -> classify -> notify -> dispatch -> analyze -> report).
+
+Three pieces:
+
+* :class:`SpanRecorder` -- a bounded store of :class:`Span` objects with
+  deterministic ids (two identical seeded runs produce identical span
+  trees).  Exports a Chrome-trace/Perfetto JSON timeline
+  (:meth:`SpanRecorder.to_chrome_trace`) that loads directly into
+  ``chrome://tracing`` / https://ui.perfetto.dev.
+* :class:`KernelProfiler` -- per-callback-qualname time/count accounting
+  on the simulator hot loop (off by default; see
+  :meth:`~repro.simkernel.simulator.Simulator.set_profiler`).
+* :class:`Telemetry` -- the session facade: one recorder, one session-wide
+  :class:`~repro.simkernel.metrics.MetricRegistry`, labelled metric
+  *sources* (per grid / host / agent) and export helpers.
+
+Everything here is passive Python bookkeeping: recording a span schedules
+no events, draws no random numbers and charges no resources, so a run with
+telemetry enabled is *simulation-identical* to the same run without it
+(pinned by ``tests/test_telemetry.py``).
+
+Span statuses form a small vocabulary:
+
+``"open"``
+    started, not yet ended (in flight, or leaked -- see orphan checks).
+``"ok"``
+    ended normally.
+``"dead-letter"``
+    the in-flight leg's envelope exhausted its retransmissions; terminal.
+``"timeout"`` / ``"evicted"``
+    a dispatch attempt retired by the Reaper / the heartbeat detector;
+    non-terminal (a later attempt continues the chain).
+``"abandoned"``
+    the root gave up on a cluster/cross job; terminal for that cluster but
+    the dataset still finalizes with an error finding.
+"""
+
+import collections
+
+
+#: Spans whose status ends a chain without reaching the next stage.
+TERMINAL_STATUSES = frozenset(("dead-letter", "abandoned"))
+
+#: The Figure-2 pipeline stages, in causal order.
+PIPELINE_STAGES = (
+    "collect", "ship", "classify", "notify", "dispatch", "analyze", "report",
+)
+
+
+class Span:
+    """One named interval with a causal parent.
+
+    Attributes:
+        span_id: recorder-unique integer (deterministic allocation order).
+        trace_id: the trace (one per collector batch) this span belongs to.
+        parent_id: causal parent span id, or ``None`` for roots.
+        name: stage name ("collect", "ship", ... or anything else).
+        grid: which grid did the work ("collector", "classifier",
+            "processor", "interface", "network", "kernel").
+        host / agent: where the work happened.
+        t_start / t_end: simulated seconds (``t_end`` None while open).
+        status: see module docstring.
+        links: extra causal parents as ``(trace_id, span_id)`` tuples --
+            used at merge points (many batches -> one dataset).
+        detail: free-form dict of small JSON-able values.
+    """
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "name", "grid", "host",
+                 "agent", "t_start", "t_end", "status", "links", "detail")
+
+    def __init__(self, span_id, trace_id, parent_id, name, grid, host, agent,
+                 t_start, detail):
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.grid = grid
+        self.host = host
+        self.agent = agent
+        self.t_start = t_start
+        self.t_end = None
+        self.status = "open"
+        self.links = ()
+        self.detail = detail
+
+    @property
+    def duration(self):
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def key(self):
+        """A comparable tuple capturing the whole span (determinism tests)."""
+        return (
+            self.span_id, self.trace_id, self.parent_id, self.name,
+            self.grid, self.host, self.agent, self.t_start, self.t_end,
+            self.status, tuple(self.links),
+            tuple(sorted(self.detail.items())),
+        )
+
+    def __repr__(self):
+        return "Span(#%d %s %s t=[%.3f, %s] %s)" % (
+            self.span_id, self.trace_id, self.name, self.t_start,
+            "%.3f" % self.t_end if self.t_end is not None else "...",
+            self.status,
+        )
+
+
+class SpanRecorder:
+    """A bounded, deterministic span store.
+
+    Unlike the ring-buffer :class:`~repro.simkernel.trace.SimulationTracer`,
+    a full recorder *rejects new spans* instead of evicting old ones:
+    evicting a parent would orphan its whole subtree, while rejecting the
+    tail keeps every stored span's causal chain intact.  Rejections are
+    counted in :attr:`dropped`.
+
+    Args:
+        sim: the simulator (span times come from ``sim.now``).
+        capacity: maximum stored spans.
+    """
+
+    def __init__(self, sim, capacity=100_000):
+        self.sim = sim
+        self.capacity = capacity
+        self.spans = []
+        self.dropped = 0
+        self._by_id = {}
+        self._next_span = 1
+        self._next_trace = 1
+
+    # -- recording ---------------------------------------------------------
+
+    def new_trace(self):
+        """Allocate a fresh trace id (one per collector batch)."""
+        trace_id = "t-%d" % self._next_trace
+        self._next_trace += 1
+        return trace_id
+
+    @property
+    def trace_count(self):
+        return self._next_trace - 1
+
+    def start(self, name, trace_id, parent=None, grid="", host="", agent="",
+              t_start=None, **detail):
+        """Open a span; returns it (or ``None`` when at capacity).
+
+        ``parent`` may be a :class:`Span` or a span id.  Callers must
+        tolerate ``None`` -- at capacity the recorder refuses new spans so
+        stored chains stay complete.
+        """
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return None
+        if isinstance(parent, Span):
+            parent = parent.span_id
+        span = Span(
+            self._next_span, trace_id, parent, name, grid, host, agent,
+            self.sim.now if t_start is None else t_start, detail,
+        )
+        self._next_span += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def end(self, span, status="ok", **detail):
+        """Close a span (or span id); the first end wins, later ends no-op.
+
+        The first-end-wins rule absorbs the at-least-once seam in the
+        reliable channel: a delivered-then-dead-lettered envelope ends its
+        ship span once with the outcome that actually happened first.
+        """
+        if span is None:
+            return None
+        if not isinstance(span, Span):
+            span = self._by_id.get(span)
+            if span is None:
+                return None
+        if span.t_end is not None:
+            return span
+        span.t_end = self.sim.now
+        span.status = status
+        if detail:
+            span.detail.update(detail)
+        return span
+
+    def link(self, span, contributors):
+        """Attach extra causal parents (merge points)."""
+        if span is not None:
+            span.links = tuple(span.links) + tuple(contributors)
+
+    def get(self, span_id):
+        return self._by_id.get(span_id)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self):
+        return len(self.spans)
+
+    def find(self, name=None, trace_id=None, status=None):
+        """Spans filtered by name / trace / status."""
+        return [
+            span for span in self.spans
+            if (name is None or span.name == name)
+            and (trace_id is None or span.trace_id == trace_id)
+            and (status is None or span.status == status)
+        ]
+
+    def open_spans(self):
+        return [span for span in self.spans if span.t_end is None]
+
+    def orphan_spans(self):
+        """Spans whose causal parent (or any link) is not in the store.
+
+        A non-empty result means the trace tree is broken -- either a bug
+        in context threading or capacity-dropped ancestors.
+        """
+        known = self._by_id
+        orphans = []
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id not in known:
+                orphans.append(span)
+                continue
+            for _, linked_id in span.links:
+                if linked_id not in known:
+                    orphans.append(span)
+                    break
+        return orphans
+
+    def children_of(self, span):
+        span_id = span.span_id if isinstance(span, Span) else span
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def end_children(self, span, status="ok", **detail):
+        """Close any still-open direct children with the parent's outcome.
+
+        Used when an attempt dies out from under its worker: the analyzer
+        on a killed container never returns to close its analyze span, so
+        whoever terminates the dispatch attempt closes the children too.
+        """
+        if span is None:
+            return
+        for child in self.children_of(span):
+            if child.t_end is None:
+                self.end(child, status=status, **detail)
+
+    def counts_by_name(self):
+        return dict(collections.Counter(span.name for span in self.spans))
+
+    # -- pipeline chain validation ----------------------------------------
+
+    def pipeline_report(self):
+        """Audit every collector batch's span chain end to end.
+
+        Returns a dict with:
+
+        * ``batches`` -- number of shipped batches (ship spans);
+        * ``complete`` -- batches whose chain reaches a report span or
+          terminates in an explicitly-statused dead-letter span;
+        * ``incomplete`` -- list of ``(trace_id, stage, why)`` for the rest;
+        * ``orphans`` -- :meth:`orphan_spans` (must be empty);
+        * ``open`` -- spans never closed (in-flight work at shutdown).
+
+        The merge points (many classify spans -> one notify; one notify ->
+        many dispatch attempts) are followed through span ``links``.
+        """
+        notifies = self.find(name="notify")
+        notify_by_contributor = {}
+        for notify in notifies:
+            if notify.parent_id is not None:
+                notify_by_contributor[notify.parent_id] = notify
+            for _, linked_id in notify.links:
+                notify_by_contributor[linked_id] = notify
+        reports_by_parent = {}
+        for report in self.find(name="report"):
+            if report.parent_id is not None:
+                reports_by_parent[report.parent_id] = report
+        incomplete = []
+        complete = 0
+        ships = self.find(name="ship")
+        for ship in ships:
+            if ship.status in TERMINAL_STATUSES:
+                complete += 1
+                continue
+            classifies = [
+                span for span in self.children_of(ship)
+                if span.name == "classify"
+            ]
+            if not classifies:
+                incomplete.append((ship.trace_id, "ship",
+                                   "no classify span (status %s)" % ship.status))
+                continue
+            notify = notify_by_contributor.get(classifies[0].span_id)
+            if notify is None:
+                incomplete.append((ship.trace_id, "classify",
+                                   "dataset never published"))
+                continue
+            if notify.status in TERMINAL_STATUSES:
+                complete += 1
+                continue
+            report = reports_by_parent.get(notify.span_id)
+            if report is None:
+                incomplete.append((ship.trace_id, "notify",
+                                   "dataset never reported"))
+                continue
+            complete += 1
+        return {
+            "batches": len(ships),
+            "complete": complete,
+            "incomplete": incomplete,
+            "orphans": self.orphan_spans(),
+            "open": self.open_spans(),
+        }
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace(self):
+        """The stored spans as a Chrome-trace (Trace Event Format) dict.
+
+        One complete ("X") event per span -- ``pid`` rows are hosts,
+        ``tid`` rows are agents -- plus "M" metadata events naming them.
+        Open spans are emitted with the recorder's current time as a
+        provisional end and ``"status": "open"`` in args.  Times are
+        microseconds (simulated seconds x 1e6), per the format.
+        """
+        pids = {}
+        tids = {}
+        events = []
+        now = self.sim.now
+        for span in self.spans:
+            process = span.host or span.grid or "?"
+            thread = span.agent or span.name
+            pid = pids.setdefault(process, len(pids) + 1)
+            tid = tids.setdefault((process, thread), len(tids) + 1)
+            end = span.t_end if span.t_end is not None else max(now, span.t_start)
+            args = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "status": span.status,
+                "grid": span.grid,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            if span.links:
+                args["links"] = [list(link) for link in span.links]
+            for key, value in span.detail.items():
+                args[key] = value
+            events.append({
+                "name": span.name,
+                "cat": span.grid or "span",
+                "ph": "X",
+                "ts": span.t_start * 1e6,
+                "dur": (end - span.t_start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+        for process, pid in sorted(pids.items(), key=lambda item: item[1]):
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        for (process, thread), tid in sorted(tids.items(),
+                                             key=lambda item: item[1]):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pids[process],
+                "tid": tid, "args": {"name": thread},
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "spans": len(self.spans),
+                "dropped": self.dropped,
+                "generator": "repro.simkernel.telemetry",
+            },
+        }
+
+    def summary_rows(self):
+        """``(name, count, open, total_duration)`` rows for CLI tables."""
+        totals = {}
+        for span in self.spans:
+            entry = totals.setdefault(span.name, [0, 0, 0.0])
+            entry[0] += 1
+            if span.t_end is None:
+                entry[1] += 1
+            else:
+                entry[2] += span.t_end - span.t_start
+        return [
+            (name, count, open_count, duration)
+            for name, (count, open_count, duration) in sorted(totals.items())
+        ]
+
+    def __repr__(self):
+        return "SpanRecorder(spans=%d, dropped=%d)" % (
+            len(self.spans), self.dropped)
+
+
+class KernelProfiler:
+    """Per-callback-qualname time/count accounting for the simulator loop.
+
+    Installed via :meth:`Simulator.set_profiler`; the run loop then wraps
+    every event callback in a wall-clock measurement.  Off by default --
+    the measurement itself (two ``perf_counter`` calls per event) is the
+    dominant cost at kernel-microbench rates, so the profiler is a
+    diagnosis tool, not an always-on metric.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self):
+        self.stats = {}  # qualname -> [count, total_seconds]
+
+    def account(self, callback, elapsed):
+        name = getattr(callback, "__qualname__", None)
+        if name is None:
+            name = type(callback).__name__
+        entry = self.stats.get(name)
+        if entry is None:
+            self.stats[name] = [1, elapsed]
+        else:
+            entry[0] += 1
+            entry[1] += elapsed
+
+    def top(self, limit=20):
+        """``(qualname, count, total_seconds)`` rows, hottest first."""
+        rows = [
+            (name, count, total)
+            for name, (count, total) in self.stats.items()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows[:limit]
+
+    def snapshot(self):
+        return {
+            name: {"count": count, "total_seconds": total}
+            for name, (count, total) in sorted(self.stats.items())
+        }
+
+    def __repr__(self):
+        events = sum(count for count, _ in self.stats.values())
+        return "KernelProfiler(callbacks=%d, events=%d)" % (
+            len(self.stats), events)
+
+
+class Telemetry:
+    """The session flight recorder: spans + metrics + profiling, unified.
+
+    Args:
+        sim: the simulator.
+        capacity: span-store bound (see :class:`SpanRecorder`).
+        profile: install a :class:`KernelProfiler` on the simulator hot
+            loop (off by default; expensive at microbench rates).
+
+    Components *register sources* -- ``(labels, supplier)`` pairs where
+    ``supplier()`` returns a flat name->number dict -- so one snapshot
+    shows every counter in the deployment labelled by grid / host / agent.
+    The session :attr:`registry` additionally holds metrics written
+    directly by instrumented components (e.g. the reliable channel).
+    """
+
+    def __init__(self, sim, capacity=100_000, profile=False):
+        from repro.simkernel.metrics import MetricRegistry
+
+        self.sim = sim
+        self.recorder = SpanRecorder(sim, capacity=capacity)
+        self.registry = MetricRegistry()
+        self.profiler = None
+        if profile:
+            self.profiler = KernelProfiler()
+            sim.set_profiler(self.profiler)
+        self._sources = []
+
+    # -- metric sources ----------------------------------------------------
+
+    def register_source(self, supplier, grid="", host="", agent=""):
+        """Register a labelled metrics supplier (flat name->number dict)."""
+        labels = {"grid": grid, "host": host, "agent": agent}
+        self._sources.append((labels, supplier))
+
+    def metrics_snapshot(self, series_window=None, series_max_points=None):
+        """One labelled, JSON-ready view of every metric in the session."""
+        sources = []
+        for labels, supplier in self._sources:
+            metrics = {
+                name: value for name, value in supplier().items()
+                if isinstance(value, (int, float))
+            }
+            sources.append({"labels": dict(labels), "metrics": metrics})
+        payload = {
+            "registry": self.registry.snapshot(
+                series_window=series_window,
+                series_max_points=series_max_points,
+            ),
+            "sources": sources,
+            "spans": {
+                "recorded": len(self.recorder),
+                "dropped": self.recorder.dropped,
+                "by_name": self.recorder.counts_by_name(),
+            },
+        }
+        if self.profiler is not None:
+            payload["kernel_profile"] = self.profiler.snapshot()
+        return payload
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_trace(self):
+        return self.recorder.to_chrome_trace()
+
+    def pipeline_report(self):
+        return self.recorder.pipeline_report()
+
+    def __repr__(self):
+        return "Telemetry(spans=%d, sources=%d, profile=%s)" % (
+            len(self.recorder), len(self._sources),
+            self.profiler is not None)

@@ -40,7 +40,10 @@ class SimulationTracer:
         self.sim = sim
         self.records = collections.deque(maxlen=capacity)
         self.kinds_filter = frozenset(kinds) if kinds is not None else None
+        #: entries evicted by the capacity bound (they *were* recorded).
         self.dropped = 0
+        #: entries rejected by the kind filter (never eligible for storage).
+        self.filtered = 0
         if capture_kernel:
             sim.add_trace_hook(self._on_kernel_event)
 
@@ -51,7 +54,9 @@ class SimulationTracer:
     def record(self, kind, **detail):
         """Record a domain event at the current simulated time."""
         if self.kinds_filter is not None and kind not in self.kinds_filter:
-            self.dropped += 1
+            # Not eligible in the first place: count separately from
+            # capacity evictions so "dropped" means lost data, not filters.
+            self.filtered += 1
             return None
         if len(self.records) == self.records.maxlen:
             self.dropped += 1
@@ -94,8 +99,8 @@ class SimulationTracer:
         return "\n".join(lines)
 
     def __repr__(self):
-        return "SimulationTracer(entries=%d, dropped=%d)" % (
-            len(self.records), self.dropped)
+        return "SimulationTracer(entries=%d, dropped=%d, filtered=%d)" % (
+            len(self.records), self.dropped, self.filtered)
 
 
 def trace_transport(transport, tracer):

@@ -30,13 +30,28 @@ class TestTracer:
         assert tracer.dropped == 2
         assert [entry.detail["i"] for entry in tracer.entries()] == [2, 3, 4]
 
-    def test_kind_filter_drops_unwanted(self):
+    def test_kind_filter_counts_separately_from_capacity_drops(self):
         sim = Simulator(seed=1)
         tracer = SimulationTracer(sim, kinds=("keep",))
         tracer.record("keep", a=1)
         tracer.record("drop", b=2)
         assert len(tracer) == 1
-        assert tracer.dropped == 1
+        # Filtered-by-kind records are not "dropped": they were never
+        # wanted, while dropped counts capacity evictions only.
+        assert tracer.filtered == 1
+        assert tracer.dropped == 0
+
+    def test_capacity_and_filter_accounting_are_independent(self):
+        sim = Simulator(seed=1)
+        tracer = SimulationTracer(sim, capacity=2, kinds=("keep",))
+        for index in range(4):
+            tracer.record("keep", i=index)
+        tracer.record("noise")
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+        assert tracer.filtered == 1
+        assert "dropped=2" in repr(tracer)
+        assert "filtered=1" in repr(tracer)
 
     def test_entry_filters(self):
         sim = Simulator(seed=1)
