@@ -142,10 +142,20 @@ class Agent:
         self.messages_sent += len(messages)
         self.platform.send_batch_reliable(messages)
 
-    def reply_to(self, message, performative, content=None, size_units=None):
-        """Build and send a reply to ``message``."""
+    def reply_to(self, message, performative, content=None, size_units=None,
+                 reliable=False):
+        """Build and send a reply to ``message``.
+
+        ``reliable=True`` routes the reply over the platform's reliable
+        channel when one is installed (plain send otherwise), for replies
+        whose loss the requester cannot cheaply detect -- e.g. large
+        storage fetch results.
+        """
         reply = message.make_reply(performative, content, size_units)
-        self.send(reply)
+        if reliable:
+            self.send_reliable(reply)
+        else:
+            self.send(reply)
         return reply
 
     def deliver(self, message):

@@ -81,8 +81,10 @@ def _cmd_quickstart(args):
     from repro.baselines.driver import run_architecture
     from repro.core.system import GridTopologySpec
 
+    reliability = {"redelivery": True} if args.reliable else False
     spec = GridTopologySpec.paper_figure6c(
-        seed=args.seed, dataset_threshold=args.polls * 3)
+        seed=args.seed, dataset_threshold=args.polls * 3,
+        reliability=reliability)
     result = run_architecture(spec, "grid", polls_per_type=args.polls)
     print(result.report.render())
     print()
@@ -237,6 +239,10 @@ def build_parser():
         "quickstart", help="run the Figure 6(c) grid once")
     _add_common(quickstart)
     quickstart.add_argument("--polls", type=int, default=10)
+    quickstart.add_argument(
+        "--reliable", action="store_true",
+        help="ship over the reliable channel with redelivery enabled "
+             "(loss-free runs produce byte-identical output)")
     quickstart.set_defaults(handler=_cmd_quickstart)
 
     trace = subparsers.add_parser(

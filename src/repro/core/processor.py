@@ -672,21 +672,38 @@ class AnalyzerAgent(Agent):
         heartbeat_interval: seconds between liveness beacons to the root
             (``None``, the default, disables heartbeating; pair with the
             root's ``heartbeat_timeout`` for failure detection).
+        fetch_timeout: base patience per storage-fetch *attempt* (each
+            attempt additionally waits out a transfer allowance sized from
+            the query + expected reply); the historical behaviour (one
+            flat 60s window, no retries) is the default.
+        fetch_retries: extra QUERY_REF attempts after a timed-out fetch
+            before the job proceeds with whatever it has (0 = old
+            single-shot behaviour).
     """
 
     def __init__(self, name, root_name, knowledge_base, cost_model=None,
-                 register_on_start=True, heartbeat_interval=None):
+                 register_on_start=True, heartbeat_interval=None,
+                 fetch_timeout=60.0, fetch_retries=0):
         super().__init__(name)
+        if fetch_timeout <= 0:
+            raise ValueError("fetch_timeout must be positive")
+        if fetch_retries < 0:
+            raise ValueError("fetch_retries must be >= 0")
         self.root_name = root_name
         self.knowledge_base = knowledge_base
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self.register_on_start = register_on_start
         self.heartbeat_interval = heartbeat_interval
+        self.fetch_timeout = fetch_timeout
+        self.fetch_retries = int(fetch_retries)
         self.responder = None
         self.jobs_completed = 0
         self.records_analyzed = 0
         self.rules_fired = 0
         self.heartbeats_sent = 0
+        self.fetch_attempts = 0
+        self.fetch_retries_used = 0
+        self.fetch_failures = 0
 
     def setup(self):
         self.responder = ContractNetResponder(self)
@@ -803,21 +820,41 @@ class AnalyzerAgent(Agent):
                 span, findings=len(findings), records=analyzed,
             )
 
-    def _fetch(self, storage_query, size_units, conversation_tag):
-        """QUERY_REF to the storage agent; returns the INFORM content."""
+    def _fetch(self, storage_query, size_units, conversation_tag,
+               reply_units=0.0):
+        """QUERY_REF to the storage agent; returns the INFORM content.
+
+        Bounded retry loop: each attempt rides the reliable channel (plain
+        send when none is installed) and waits ``fetch_timeout`` plus a
+        transfer allowance sized from the query and the expected reply --
+        a big cluster fetch is given the wire time it actually needs
+        instead of tripping a spurious retry.  Every attempt reuses the
+        same conversation id, so a late reply to an *earlier* attempt
+        still completes the fetch; a false retry degrades to extra
+        traffic, never to data loss.
+        """
         conversation = "%s-%s" % (conversation_tag, self.name)
-        self.send(ACLMessage(
-            Performative.QUERY_REF,
-            sender=self.name,
-            receiver=self._storage_agent_name(),
-            content=storage_query,
-            conversation_id=conversation,
-            size_units=size_units,
-        ))
-        reply = yield from self.receive(
-            MessageTemplate(conversation_id=conversation), timeout=60.0,
-        )
+        template = MessageTemplate(conversation_id=conversation)
+        patience = self.fetch_timeout + 2.0 * (
+            size_units + reply_units) / self.host.nic.capacity
+        reply = None
+        for attempt in range(1 + self.fetch_retries):
+            if attempt:
+                self.fetch_retries_used += 1
+            self.fetch_attempts += 1
+            self.send_reliable(ACLMessage(
+                Performative.QUERY_REF,
+                sender=self.name,
+                receiver=self._storage_agent_name(),
+                content=storage_query,
+                conversation_id=conversation,
+                size_units=size_units,
+            ))
+            reply = yield from self.receive(template, timeout=patience)
+            if reply is not None:
+                break
         if reply is None or reply.performative != Performative.INFORM:
+            self.fetch_failures += 1
             return None
         return reply.content
 
@@ -834,6 +871,8 @@ class AnalyzerAgent(Agent):
             size_units=self.cost_model.fetch_query_size
             * max(1, content["record_count"]),
             conversation_tag=content["job_id"],
+            reply_units=self.cost_model.fetch_reply_size
+            * max(1, content["record_count"]),
         )
         if fetched is None:
             return [], 0
@@ -872,6 +911,7 @@ class AnalyzerAgent(Agent):
             {"op": "fetch-summary", "dataset": content["dataset"]},
             size_units=self.cost_model.cross_query_size,
             conversation_tag=content["job_id"],
+            reply_units=self.cost_model.cross_reply_size,
         )
         cross_cost = self.cost_model.cross_cost()
         if cross_cost.cpu:

@@ -95,22 +95,35 @@ class ReplicationService:
 def attach_failover(analyzer, replica_host_name, fetch_timeout=20.0):
     """Teach an analyzer to retry fetches against a replica.
 
-    Replaces the analyzer's ``_fetch`` with a two-attempt version: primary
-    first (with a bounded patience), then the replica's storage agent.
-    The analyzer gains a ``fetch_failovers`` counter.
+    Replaces the analyzer's ``_fetch`` with a three-attempt ladder:
+    primary, primary once more (a transient blip -- a rebooting host or a
+    lossy window -- usually clears within one patience window), then the
+    replica's storage agent.  The analyzer gains ``fetch_failovers`` and
+    ``fetch_primary_retries`` counters.
     """
     analyzer.fetch_failovers = 0
+    analyzer.fetch_primary_retries = 0
 
-    def fetch_with_failover(storage_query, size_units, conversation_tag):
+    def fetch_with_failover(storage_query, size_units, conversation_tag,
+                            reply_units=0.0):
         result = yield from _query(
             analyzer, analyzer._current_storage_agent, storage_query,
-            size_units, conversation_tag, fetch_timeout)
+            size_units, conversation_tag, fetch_timeout, reply_units)
+        if result is not None:
+            return result
+        # Retry the primary once before abandoning it: same conversation
+        # id, so a late reply to the first attempt still counts.
+        analyzer.fetch_primary_retries += 1
+        result = yield from _query(
+            analyzer, analyzer._current_storage_agent, storage_query,
+            size_units, conversation_tag, fetch_timeout, reply_units)
         if result is not None:
             return result
         analyzer.fetch_failovers += 1
         result = yield from _query(
             analyzer, "storage@" + replica_host_name, storage_query,
-            size_units, conversation_tag + "-failover", fetch_timeout)
+            size_units, conversation_tag + "-failover", fetch_timeout,
+            reply_units)
         return result
 
     analyzer._fetch = fetch_with_failover
@@ -118,10 +131,13 @@ def attach_failover(analyzer, replica_host_name, fetch_timeout=20.0):
 
 
 def _query(analyzer, storage_agent_name, storage_query, size_units,
-           conversation_tag, timeout):
+           conversation_tag, timeout, reply_units=0.0):
     """One bounded QUERY_REF round-trip (process generator)."""
     conversation = "%s-%s" % (conversation_tag, analyzer.name)
-    analyzer.send(ACLMessage(
+    patience = timeout + 2.0 * (
+        size_units + reply_units) / analyzer.host.nic.capacity
+    analyzer.fetch_attempts += 1
+    analyzer.send_reliable(ACLMessage(
         Performative.QUERY_REF,
         sender=analyzer.name,
         receiver=storage_agent_name,
@@ -130,7 +146,7 @@ def _query(analyzer, storage_agent_name, storage_query, size_units,
         size_units=size_units,
     ))
     reply = yield from analyzer.receive(
-        MessageTemplate(conversation_id=conversation), timeout=timeout)
+        MessageTemplate(conversation_id=conversation), timeout=patience)
     if reply is None or reply.performative != Performative.INFORM:
         return None
     return reply.content

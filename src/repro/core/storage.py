@@ -210,10 +210,14 @@ class StorageAgent(Agent):
             small_read = 0.5 * max(1, len(records))
             yield self.host.disk.use(small_read, label="fetch")
             self.queries_answered += 1
+            # Fetch replies ride the reliable channel (when installed): a
+            # lost reply is indistinguishable from a slow one to the
+            # analyzer, and the retry it triggers re-reads the store.
             self.reply_to(
                 message, Performative.INFORM,
                 content={"records": records, "baselines": baselines},
                 size_units=self.cost_model.fetch_reply_size * max(1, len(records)),
+                reliable=True,
             )
         elif operation == "fetch-summary":
             dataset_id = content["dataset"]
@@ -228,6 +232,7 @@ class StorageAgent(Agent):
             self.reply_to(
                 message, Performative.INFORM, content=summary,
                 size_units=self.cost_model.cross_reply_size,
+                reliable=True,
             )
         else:
             self.reply_to(

@@ -71,6 +71,14 @@ class GridTopologySpec:
         knowledge_base_factory: zero-arg callable producing each analyzer's
             knowledge base (defaults to the stock rule base).
         job_timeout: processor-grid job re-dispatch timeout.
+        fetch_timeout: analyzer per-*attempt* base patience for storage
+            fetches.  Defaults to ``job_timeout / (2 * (fetch_retries +
+            1))`` so the whole retry ladder fits inside half the job
+            window; validated so that ``fetch_timeout * (fetch_retries +
+            1) < job_timeout`` -- a fetch ladder that outlives the job
+            would only ever feed the Reaper.
+        fetch_retries: extra fetch attempts per query after a timeout
+            (default 2).
         enable_cross: run level-3 cross analysis per dataset.
         device_tick: device metric-dynamics period.
         reliability: ``False`` (default) keeps the plain transport;
@@ -105,6 +113,8 @@ class GridTopologySpec:
         seed=0,
         knowledge_base_factory=None,
         job_timeout=60.0,
+        fetch_timeout=None,
+        fetch_retries=2,
         enable_cross=True,
         device_tick=1.0,
         collector_parse_locally=True,
@@ -136,6 +146,20 @@ class GridTopologySpec:
             else standard_knowledge_base
         )
         self.job_timeout = job_timeout
+        if fetch_retries < 0:
+            raise ValueError("fetch_retries must be >= 0")
+        self.fetch_retries = int(fetch_retries)
+        if fetch_timeout is None:
+            fetch_timeout = job_timeout / (2.0 * (self.fetch_retries + 1))
+        if fetch_timeout <= 0:
+            raise ValueError("fetch_timeout must be positive")
+        if fetch_timeout * (self.fetch_retries + 1) >= job_timeout:
+            raise ValueError(
+                "fetch_timeout (%g) x %d attempts must stay below "
+                "job_timeout (%g); a fetch ladder that outlives the job "
+                "only feeds re-dispatch" % (
+                    fetch_timeout, self.fetch_retries + 1, job_timeout))
+        self.fetch_timeout = fetch_timeout
         self.enable_cross = enable_cross
         self.device_tick = device_tick
         self.collector_parse_locally = collector_parse_locally
@@ -326,6 +350,8 @@ class GridManagementSystem:
                 knowledge_base=self.spec.knowledge_base_factory(),
                 cost_model=self.cost_model,
                 heartbeat_interval=self.spec.heartbeat_interval,
+                fetch_timeout=self.spec.fetch_timeout,
+                fetch_retries=self.spec.fetch_retries,
             )
             container.deploy(analyzer)
             self.analyzers.append(analyzer)
@@ -371,13 +397,35 @@ class GridManagementSystem:
 
             def _trace_dead_letter(dead):
                 context = getattr(dead.message.payload, "trace_context", None)
-                if context is not None:
+                if context is not None and dead.terminal:
+                    # Parked envelopes keep their ship span open -- the
+                    # redelivery scheduler will re-open the chain; only a
+                    # final loss (redelivery off, or budget exhausted at
+                    # park time) terminates it.
                     recorder.end(context[1], status="dead-letter",
                                  reason=dead.reason, attempts=dead.attempts)
                 if previous_hook is not None:
                     previous_hook(dead)
 
+            def _trace_redelivered(dead):
+                context = getattr(dead.message.payload, "trace_context", None)
+                if context is not None:
+                    span = recorder.start(
+                        "redeliver", context[0], parent=context[1],
+                        grid="network", agent="reliable-channel",
+                        attempts=dead.attempts)
+                    recorder.end(span, status="ok")
+
+            def _trace_gave_up(dead):
+                context = getattr(dead.message.payload, "trace_context", None)
+                if context is not None:
+                    recorder.end(context[1], status="dead-letter",
+                                 reason="redelivery gave up: %s" % dead.reason,
+                                 attempts=dead.attempts)
+
             self.reliable_channel.on_dead_letter = _trace_dead_letter
+            self.reliable_channel.on_redelivered = _trace_redelivered
+            self.reliable_channel.on_redelivery_gave_up = _trace_gave_up
         telemetry = self.telemetry
         for collector in self.collectors:
             telemetry.register_source(
@@ -423,6 +471,9 @@ class GridManagementSystem:
                     "records_analyzed": a.records_analyzed,
                     "rules_fired": a.rules_fired,
                     "heartbeats_sent": a.heartbeats_sent,
+                    "fetch_attempts": a.fetch_attempts,
+                    "fetch_retries_used": a.fetch_retries_used,
+                    "fetch_failures": a.fetch_failures,
                 },
                 grid="processor", host=analyzer.host.name,
                 agent=analyzer.name,

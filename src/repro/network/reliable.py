@@ -31,6 +31,20 @@ an envelope whose ACKs were all lost can be delivered *and* dead-lettered
 -- accounting therefore treats "classified + dead-lettered >= shipped" as
 the no-silent-loss invariant, never exact equality.
 
+**Redelivery** (``redelivery=True``) closes the remaining gap from
+at-least-once to *effectively-always*: instead of terminating at the
+dead-letter queue, exhausted envelopes are **parked per destination
+host** and a capped-exponential-backoff *heal probe* watches the
+destination; once it answers (host back up), every parked envelope is
+re-shipped under its **original** (stream, seq) -- so receiver dedup
+still guarantees exactly-once above the suppression point even when a
+delivered-but-unacked envelope takes the redelivery path.  Each parked
+envelope keeps a total delivery budget (``redelivery_give_up_after``
+seconds from its first transmission); past it the channel gives up for
+good (``redelivery_gave_up`` accounting + hook).  With every outage
+healing inside the budget the invariant tightens to ``classified ==
+shipped``: zero permanently-lost batches.
+
 The channel is opt-in (``GridTopologySpec(reliability=True)``); when it is
 not installed the agent helpers fall back to the plain fire-and-forget
 paths, byte-identical with pre-channel behaviour.
@@ -89,10 +103,24 @@ class _Pending:
 
 
 class DeadLetter:
-    """One message the channel gave up on, with delivery accounting."""
+    """One message the channel exhausted its retransmissions on.
+
+    ``status`` tracks the redelivery lifecycle:
+
+    ``"dead"``
+        terminal -- redelivery is off; the message is lost (accounted).
+    ``"parked"``
+        waiting for the destination host to heal; a probe is armed.
+    ``"redelivered"``
+        the destination healed and the envelope was re-shipped under its
+        original (stream, seq); receiver dedup keeps it exactly-once.
+    ``"gave-up"``
+        the delivery budget (``redelivery_give_up_after``) ran out while
+        parked; terminal.
+    """
 
     __slots__ = ("message", "stream", "seq", "attempts", "first_sent",
-                 "dead_at", "reason")
+                 "dead_at", "reason", "status", "redelivered_at")
 
     def __init__(self, pending, dead_at, reason):
         self.message = pending.message
@@ -102,10 +130,18 @@ class DeadLetter:
         self.first_sent = pending.first_sent
         self.dead_at = dead_at
         self.reason = reason
+        self.status = "dead"
+        self.redelivered_at = None
+
+    @property
+    def terminal(self):
+        """True when the channel will make no further delivery attempt."""
+        return self.status in ("dead", "gave-up")
 
     def __repr__(self):
-        return "DeadLetter(%s#%d, attempts=%d, reason=%r)" % (
-            "/".join(self.stream), self.seq, self.attempts, self.reason,
+        return "DeadLetter(%s#%d, attempts=%d, %s, reason=%r)" % (
+            "/".join(self.stream), self.seq, self.attempts, self.status,
+            self.reason,
         )
 
 
@@ -127,17 +163,45 @@ class ReliableChannel:
             up in telemetry snapshots instead of staying attribute-only.
         metric_labels: labels dict for the registered counters (e.g.
             ``{"grid": "network"}``).
+        redelivery: park dead-lettered envelopes per destination host and
+            re-ship them once the destination heals (default off -- the
+            dead-letter queue stays terminal, pre-redelivery behaviour).
+        redelivery_interval: first heal-probe delay after a park (defaults
+            to ``2 * ack_timeout``).
+        redelivery_backoff: multiplicative probe backoff while the
+            destination stays down.
+        redelivery_max_interval: probe-interval cap (the backoff never
+            stretches probes further apart than this).
+        redelivery_give_up_after: total delivery budget in seconds from a
+            message's *first* transmission; parked envelopes past it are
+            given up for good.  ``None`` parks forever.
     """
 
     def __init__(self, transport, ack_timeout=2.0, backoff=2.0,
                  max_attempts=6, ack_size_units=0.1, metrics=None,
-                 metric_labels=None):
+                 metric_labels=None, redelivery=False,
+                 redelivery_interval=None, redelivery_backoff=2.0,
+                 redelivery_max_interval=30.0,
+                 redelivery_give_up_after=600.0):
         if ack_timeout <= 0:
             raise ValueError("ack_timeout must be positive")
         if backoff < 1.0:
             raise ValueError("backoff must be >= 1")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if redelivery_interval is None:
+            redelivery_interval = 2.0 * ack_timeout
+        if redelivery_interval <= 0:
+            raise ValueError("redelivery_interval must be positive")
+        if redelivery_backoff < 1.0:
+            raise ValueError("redelivery_backoff must be >= 1")
+        if redelivery_max_interval < redelivery_interval:
+            raise ValueError(
+                "redelivery_max_interval must be >= redelivery_interval")
+        if redelivery_give_up_after is not None \
+                and redelivery_give_up_after <= 0:
+            raise ValueError(
+                "redelivery_give_up_after must be positive (or None)")
         self.transport = transport
         self.sim = transport.sim
         self.network = transport.network
@@ -145,13 +209,24 @@ class ReliableChannel:
         self.backoff = backoff
         self.max_attempts = max_attempts
         self.ack_size_units = ack_size_units
+        self.redelivery = bool(redelivery)
+        self.redelivery_interval = redelivery_interval
+        self.redelivery_backoff = redelivery_backoff
+        self.redelivery_max_interval = redelivery_max_interval
+        self.redelivery_give_up_after = redelivery_give_up_after
         self._next_seq = {}      # stream -> next sequence number
         self._pending = {}       # (stream, seq) -> _Pending
         self._seen = {}          # receiver side: stream -> set(seq)
         self._data_hosts = set()
         self._ack_hosts = set()
         self.dead_letters = []
-        self.on_dead_letter = None  # optional hook(dead_letter)
+        self._dead_by_key = {}   # (stream, seq) -> DeadLetter (dedup)
+        self._parked = {}        # dest host name -> [DeadLetter]
+        self._probe_interval = {}  # dest host name -> current probe delay
+        self._probe_armed = set()  # dest hosts with a probe in flight
+        self.on_dead_letter = None        # optional hook(dead_letter)
+        self.on_redelivered = None        # optional hook(dead_letter)
+        self.on_redelivery_gave_up = None  # optional hook(dead_letter)
         # -- metrics ------------------------------------------------------
         self.messages_sent = 0
         self.messages_delivered = 0   # first copies handed to handlers
@@ -160,6 +235,9 @@ class ReliableChannel:
         self.dup_drops = 0
         self.acks_sent = 0
         self.undeliverable = 0        # arrived but original port unbound
+        self.redelivered = 0          # parked envelopes re-shipped
+        self.redelivery_gave_up = 0   # parked envelopes past the budget
+        self.heal_probes = 0
         self.latency_sum = 0.0        # first-send -> ack, per acked message
         self.latency_max = 0.0
         self.bind_metrics(metrics, metric_labels)
@@ -175,6 +253,7 @@ class ReliableChannel:
         if metrics is None:
             self._m_sent = self._m_delivered = self._m_acked = None
             self._m_retransmits = self._m_dups = self._m_dead = None
+            self._m_redelivered = self._m_gave_up = None
             return
         self._m_sent = metrics.counter("reliable.sent", labels)
         self._m_delivered = metrics.counter("reliable.delivered", labels)
@@ -182,6 +261,9 @@ class ReliableChannel:
         self._m_retransmits = metrics.counter("reliable.retransmits", labels)
         self._m_dups = metrics.counter("reliable.dup_drops", labels)
         self._m_dead = metrics.counter("reliable.dead_letters", labels)
+        self._m_redelivered = metrics.counter("reliable.redelivered", labels)
+        self._m_gave_up = metrics.counter(
+            "reliable.redelivery_gave_up", labels)
 
     # -- submission --------------------------------------------------------
 
@@ -209,6 +291,21 @@ class ReliableChannel:
 
     def pending_count(self):
         return len(self._pending)
+
+    def parked_count(self):
+        """Dead-lettered envelopes currently waiting for a heal."""
+        return sum(len(queue) for queue in self._parked.values())
+
+    def permanently_dead(self):
+        """Dead letters the channel will never attempt again.
+
+        With redelivery off this is the whole dead-letter queue; with it
+        on, only ``gave-up`` entries -- parked and redelivered envelopes
+        are still (or were) in flight.  The heal-complete invariant
+        ``classified == shipped`` holds exactly when this is empty after
+        the run drains.
+        """
+        return [dead for dead in self.dead_letters if dead.terminal]
 
     # -- sender side -------------------------------------------------------
 
@@ -257,15 +354,120 @@ class ReliableChannel:
             return  # acked in the meantime
         if pending.attempts >= self.max_attempts:
             del self._pending[key]
-            dead = DeadLetter(pending, self.sim.now,
-                              "no ack after %d attempts" % pending.attempts)
-            self.dead_letters.append(dead)
-            if self._m_dead is not None:
-                self._m_dead.inc()
+            reason = "no ack after %d attempts" % pending.attempts
+            dead = self._dead_by_key.get(key)
+            if dead is None:
+                dead = DeadLetter(pending, self.sim.now, reason)
+                self._dead_by_key[key] = dead
+                self.dead_letters.append(dead)
+                if self._m_dead is not None:
+                    self._m_dead.inc()
+            else:
+                # Re-exhaustion after a redelivery round: refresh the
+                # existing entry instead of double-counting the loss.
+                dead.attempts += pending.attempts
+                dead.dead_at = self.sim.now
+                dead.reason = reason
+                dead.status = "dead"
+            self._maybe_park(dead)
             if self.on_dead_letter is not None:
                 self.on_dead_letter(dead)
             return
         self._wire(pending, first=False)
+
+    # -- redelivery --------------------------------------------------------
+
+    def _maybe_park(self, dead):
+        """Park a fresh dead letter for redelivery (when enabled).
+
+        Runs *before* :attr:`on_dead_letter` fires so the hook observes
+        the settled status: ``parked`` (a probe is armed), ``gave-up``
+        (budget already spent) or ``dead`` (redelivery off).
+        """
+        if not self.redelivery:
+            return
+        budget = self.redelivery_give_up_after
+        if budget is not None and self.sim.now - dead.first_sent >= budget:
+            self._give_up(dead)
+            return
+        dead.status = "parked"
+        dst = dead.stream[1]
+        self._parked.setdefault(dst, []).append(dead)
+        self._arm_probe(dst, self.redelivery_interval)
+
+    def _arm_probe(self, dst, interval):
+        if dst in self._probe_armed:
+            return
+        self._probe_armed.add(dst)
+        self._probe_interval[dst] = interval
+        self.sim.schedule(interval, self._probe, (dst,))
+
+    def _probe(self, dst):
+        """One heal probe: give up on stale entries, re-ship or back off.
+
+        Liveness comes from the topology (``host.up``) -- the simulated
+        stand-in for a piggybacked heartbeat -- so probes cost no network
+        units; the re-shipped envelopes pay full transport charges.
+        """
+        self._probe_armed.discard(dst)
+        queue = self._parked.get(dst)
+        if not queue:
+            self._parked.pop(dst, None)
+            return
+        self.heal_probes += 1
+        budget = self.redelivery_give_up_after
+        if budget is not None:
+            keep = []
+            for dead in queue:
+                if self.sim.now - dead.first_sent >= budget:
+                    self._give_up(dead)
+                else:
+                    keep.append(dead)
+            queue[:] = keep
+            if not queue:
+                del self._parked[dst]
+                return
+        host = self.network.hosts.get(dst)
+        if host is not None and host.up:
+            parked = list(queue)
+            del self._parked[dst]
+            wires = [self._reopen(dead) for dead in parked]
+            self.transport.post_batch(wires)
+            return
+        interval = min(
+            self.redelivery_max_interval,
+            self._probe_interval.get(dst, self.redelivery_interval)
+            * self.redelivery_backoff,
+        )
+        self._arm_probe(dst, interval)
+
+    def _reopen(self, dead):
+        """Re-enroll a parked envelope under its *original* (stream, seq).
+
+        Reusing the sequence number is what preserves exactly-once above
+        dedup: if the dead-lettered envelope had actually been delivered
+        (only its ACKs were lost), the receiver re-acks and drops the
+        redelivered copy as a duplicate.
+        """
+        pending = _Pending(dead.stream, dead.seq, dead.message, self.sim.now)
+        pending.first_sent = dead.first_sent
+        self._pending[(dead.stream, dead.seq)] = pending
+        dead.status = "redelivered"
+        dead.redelivered_at = self.sim.now
+        self.redelivered += 1
+        if self._m_redelivered is not None:
+            self._m_redelivered.inc()
+        if self.on_redelivered is not None:
+            self.on_redelivered(dead)
+        return self._make_wire(pending, first=True)
+
+    def _give_up(self, dead):
+        dead.status = "gave-up"
+        self.redelivery_gave_up += 1
+        if self._m_gave_up is not None:
+            self._m_gave_up.inc()
+        if self.on_redelivery_gave_up is not None:
+            self.on_redelivery_gave_up(dead)
 
     def _on_ack(self, wire):
         ack = wire.payload
@@ -364,6 +566,11 @@ class ReliableChannel:
             "dead_letters": len(self.dead_letters),
             "undeliverable": self.undeliverable,
             "pending": len(self._pending),
+            "parked": self.parked_count(),
+            "redelivered": self.redelivered,
+            "redelivery_gave_up": self.redelivery_gave_up,
+            "permanently_dead": len(self.permanently_dead()),
+            "heal_probes": self.heal_probes,
             "mean_latency": self.mean_latency(),
             "max_latency": self.latency_max,
         }

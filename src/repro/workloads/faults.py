@@ -124,6 +124,35 @@ def chaos_plan(container="analysis-1", collector_host=None,
     return FaultPlan(events)
 
 
+def storage_blip_plan(storage_host, blip_at=20.0, blip_duration=4.0):
+    """A transient storage-host outage aimed at the analyzer fetch window.
+
+    The blip is short (a reboot, a failing switch port): shorter than one
+    job timeout, long enough to swallow a QUERY_REF or its INFORM reply.
+    Pre-retry analyzers returned a 0-record job from this; with bounded
+    fetch retries the second attempt lands after the heal.
+    """
+    return FaultPlan([
+        FaultEvent(blip_at, FaultEvent.HOST_DOWN, storage_host,
+                   clear_after=blip_duration),
+    ])
+
+
+def dead_letter_heal_plan(dest_host, down_at=10.0, down_duration=30.0):
+    """An outage long enough to exhaust retransmissions, then a heal.
+
+    With default channel parameters (``ack_timeout=2``, ``backoff=2``,
+    ``max_attempts=6``) a sender gives up after ~62s; pass a shorter
+    ladder (e.g. ``max_attempts=4`` -> ~14s) so envelopes dead-letter
+    *inside* ``down_duration`` and only a redelivery scheduler -- not a
+    retransmission -- can get them across after the heal.
+    """
+    return FaultPlan([
+        FaultEvent(down_at, FaultEvent.HOST_DOWN, dest_host,
+                   clear_after=down_duration),
+    ])
+
+
 def apply_fault_plan(system, plan):
     """Schedule every fault in ``plan`` on a built grid system.
 

@@ -153,6 +153,44 @@ class TestCli:
         assert payload["records_analyzed"] == 3
         assert capsys.readouterr().out.strip()
 
+    def test_quickstart_reliable_loss_free_byte_identical(self, tmp_path):
+        """Redelivery machinery must be inert on loss-free links.
+
+        Same seed, same workload, reliable channel both times -- one run
+        with the redelivery scheduler enabled (what ``--reliable``
+        installs) and one without: with zero loss nothing ever
+        dead-letters, parks or redelivers, so enabling redelivery must
+        leave the exported JSON byte-for-byte unchanged.  (The channel
+        itself is *not* free -- ACK traffic shows up in network cost --
+        which is why the baseline also runs the channel.)
+        """
+        from repro.baselines.driver import run_architecture
+        from repro.core.system import GridTopologySpec
+
+        paths = {}
+        for label, reliability in (
+                ("baseline", True),
+                ("redelivery", {"redelivery": True})):
+            spec = GridTopologySpec.paper_figure6c(
+                seed=7, dataset_threshold=6, reliability=reliability)
+            result = run_architecture(spec, "grid", polls_per_type=2)
+            path = tmp_path / (label + ".json")
+            export.dump_json(export.run_result_to_dict(result), str(path))
+            paths[label] = path
+        assert (paths["baseline"].read_bytes()
+                == paths["redelivery"].read_bytes())
+
+    def test_quickstart_reliable_repeat_runs_identical(self, tmp_path,
+                                                       capsys):
+        """Two --reliable runs with one seed are themselves deterministic."""
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        for path in (first, second):
+            assert cli.main(["quickstart", "--polls", "2", "--seed", "7",
+                             "--reliable", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
     def test_figure6_small(self, capsys):
         assert cli.main(["figure6", "--polls", "2"]) == 0
         out = capsys.readouterr().out

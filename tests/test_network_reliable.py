@@ -1,7 +1,9 @@
 """Tests for the reliable delivery channel (ack / retransmit / dedup /
-dead-letter) and its integration with the grid system."""
+dead-letter / redelivery) and its integration with the grid system."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.system import (
     DeviceSpec,
@@ -150,6 +152,181 @@ class TestReliableDelivery:
         assert stats["acked"] == 5
         assert stats["dead_letters"] == 0
         assert stats["pending"] == 0
+        assert stats["parked"] == 0
+        assert stats["redelivered"] == 0
+        assert stats["redelivery_gave_up"] == 0
+        assert stats["permanently_dead"] == 0
+
+
+class TestRedelivery:
+    def _healing_channel(self, **kwargs):
+        parameters = dict(ack_timeout=0.5, max_attempts=3, redelivery=True,
+                          redelivery_interval=1.0,
+                          redelivery_max_interval=4.0,
+                          redelivery_give_up_after=200.0)
+        parameters.update(kwargs)
+        return _channel(0.0, **parameters)
+
+    def test_parked_then_redelivered_after_heal(self):
+        sim, network, channel, received = self._healing_channel()
+        network.hosts["b"].fail()
+        _post_many(channel, 3)
+        sim.schedule(20.0, network.hosts["b"].recover, ())
+        sim.run(until=200)
+        assert sorted(received) == [0, 1, 2]
+        assert channel.redelivered == 3
+        assert channel.redelivery_gave_up == 0
+        assert channel.parked_count() == 0
+        assert channel.pending_count() == 0
+        # the dead-letter log keeps the entries, but none is terminal
+        assert len(channel.dead_letters) == 3
+        assert not channel.permanently_dead()
+        assert all(d.status == "redelivered" for d in channel.dead_letters)
+        assert all(d.redelivered_at is not None for d in channel.dead_letters)
+
+    def test_dead_letter_hook_sees_parked_status(self):
+        sim, network, channel, _ = self._healing_channel()
+        network.hosts["b"].fail()
+        statuses = []
+        channel.on_dead_letter = lambda dead: statuses.append(dead.status)
+        redelivered = []
+        channel.on_redelivered = redelivered.append
+        _post_many(channel, 1)
+        sim.schedule(10.0, network.hosts["b"].recover, ())
+        sim.run(until=100)
+        assert statuses == ["parked"]
+        assert len(redelivered) == 1
+        assert redelivered[0].terminal is False
+
+    def test_budget_exhaustion_gives_up(self):
+        sim, network, channel, received = self._healing_channel(
+            redelivery_give_up_after=10.0)
+        network.hosts["b"].fail()
+        gave_up = []
+        channel.on_redelivery_gave_up = gave_up.append
+        _post_many(channel, 2)
+        sim.run(until=100)  # never heals inside the budget
+        assert received == []
+        assert channel.redelivery_gave_up == 2
+        assert channel.parked_count() == 0
+        assert len(gave_up) == 2
+        assert all(dead.terminal for dead in gave_up)
+        assert len(channel.permanently_dead()) == 2
+
+    def test_redelivery_off_keeps_terminal_dead_letters(self):
+        sim, network, channel, _ = _channel(0.0, ack_timeout=0.5,
+                                            max_attempts=3)
+        network.hosts["b"].fail()
+        _post_many(channel, 2)
+        sim.run(until=100)
+        assert all(d.status == "dead" and d.terminal
+                   for d in channel.dead_letters)
+        assert channel.parked_count() == 0
+        assert len(channel.permanently_dead()) == 2
+
+    def test_re_exhaustion_reparks_without_duplicate_entry(self):
+        # Heal just long enough for the probe to re-ship, then fail again
+        # before the re-shipped envelope can land: the channel must reuse
+        # the existing dead-letter entry and park it again.
+        sim, network, channel, received = self._healing_channel()
+        host = network.hosts["b"]
+        host.fail()
+        _post_many(channel, 1)
+        # First exhaustion at ~0.5+1.0+2.0=3.5s; probe at ~4.5 sees the
+        # host up, re-ships; the immediate re-fail drops the wire and the
+        # envelope exhausts again, then the second heal lets it through.
+        sim.schedule(4.0, host.recover, ())
+        sim.schedule(4.6, host.fail, ())
+        sim.schedule(40.0, host.recover, ())
+        sim.run(until=200)
+        assert received == [0]
+        assert len(channel.dead_letters) == 1
+        assert channel.redelivered >= 2
+        assert channel.dead_letters[0].status == "redelivered"
+        assert not channel.permanently_dead()
+
+    def test_redelivery_preserves_exactly_once_for_unacked_delivery(self):
+        # Lose ONLY acks: the payload is delivered, every ack is dropped,
+        # the sender dead-letters and later redelivers -- the receiver
+        # must suppress the redelivered copy as a duplicate.
+        sim, network, channel, received = self._healing_channel()
+        original_post = channel.transport.post
+
+        def ack_dropping_post(message):
+            if message.protocol == "rel-ack":
+                return
+            original_post(message)
+
+        channel.transport.post = ack_dropping_post
+        _post_many(channel, 1)
+        sim.run(until=30)  # exhausts, parks, probes see the host up
+        channel.transport.post = original_post
+        sim.run(until=100)
+        assert received == [0]  # exactly once above dedup
+        assert channel.dup_drops >= 1
+        assert channel.redelivered >= 1
+
+    def test_redelivery_parameter_validation(self):
+        transport = Transport(Network(Simulator(seed=0)))
+        with pytest.raises(ValueError):
+            ReliableChannel(transport, redelivery_interval=0)
+        with pytest.raises(ValueError):
+            ReliableChannel(transport, redelivery_backoff=0.5)
+        with pytest.raises(ValueError):
+            ReliableChannel(transport, redelivery_interval=5.0,
+                            redelivery_max_interval=1.0)
+        with pytest.raises(ValueError):
+            ReliableChannel(transport, redelivery_give_up_after=0)
+
+    def test_redelivery_metrics_registered(self):
+        from repro.simkernel.metrics import MetricRegistry
+
+        sim, network, channel, _ = self._healing_channel()
+        registry = MetricRegistry()
+        channel.bind_metrics(registry, {"grid": "network"})
+        network.hosts["b"].fail()
+        _post_many(channel, 1)
+        sim.schedule(10.0, network.hosts["b"].recover, ())
+        sim.run(until=100)
+        assert channel.redelivered == 1
+        snapshot = registry.snapshot()
+        redelivered = [name for name in snapshot["counters"]
+                       if "reliable.redelivered" in name]
+        assert redelivered
+        assert snapshot["counters"][redelivered[0]] == 1
+
+
+class TestRedeliveryProperty:
+    """Hypothesis: random loss + a random heal window never loses or
+    duplicates a payload above the dedup point, redelivery included."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        loss_rate=st.floats(min_value=0.0, max_value=0.5),
+        fail_at=st.floats(min_value=0.0, max_value=10.0),
+        heal_after=st.floats(min_value=0.5, max_value=60.0),
+        count=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_exactly_once_above_dedup(self, loss_rate, fail_at, heal_after,
+                                      count, seed):
+        sim, network, channel, received = _channel(
+            loss_rate, seed=seed, ack_timeout=0.5, backoff=2.0,
+            max_attempts=3, redelivery=True, redelivery_interval=1.0,
+            redelivery_max_interval=8.0, redelivery_give_up_after=None,
+        )
+        host = network.hosts["b"]
+        sim.schedule(fail_at, host.fail, ())
+        sim.schedule(fail_at + heal_after, host.recover, ())
+        _post_many(channel, count)
+        # Run long past the outage so every parked envelope redelivers.
+        sim.run(until=fail_at + heal_after + 300.0)
+        # exactly-once above the suppression point, loss or no loss
+        assert sorted(received) == list(range(count))
+        # nothing permanently lost: the destination healed
+        assert not channel.permanently_dead()
+        assert channel.parked_count() == 0
+        assert channel.pending_count() == 0
 
 
 def _grid(loss_rate, seed=9, **overrides):

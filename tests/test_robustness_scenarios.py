@@ -1,0 +1,175 @@
+"""Chaos-scenario matrix: one X7-style outage, every config cell.
+
+The same storage-host outage (the ship destination dies at t=2 for 30s,
+or forever) runs across ``(reliability on/off) x (telemetry on/off) x
+(heal/no-heal)``, and each cell must uphold exactly the invariant tier
+its configuration buys -- no more, no less:
+
+* **tier 0** (no reliability): bookkeeping sanity only -- records lost
+  in the outage vanish silently (``classified <= shipped``).
+* **tier 1** (reliable channel): no *silent* loss -- every shipped
+  record is classified or dead-lettered with accounting
+  (``classified + dead >= shipped``), healed or not.
+* **tier 2** (reliability + redelivery + heal): heal-complete --
+  the outage (30s) outlasts the retransmission ladder (~15s), so only
+  the redelivery scheduler closes the gap: ``classified == shipped``,
+  zero permanently-dead envelopes.
+
+Telemetry rides along passively in half the cells: span chains must
+never dangle from unrecorded parents, and in the tier-2 cell every
+shipped batch's chain must be *complete* -- redelivered, not terminated.
+"""
+
+import pytest
+
+from repro.core.system import (
+    DeviceSpec,
+    GridManagementSystem,
+    GridTopologySpec,
+    HostSpec,
+)
+from repro.network.topology import LinkSpec
+from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+
+OUTAGE_AT = 2.0
+OUTAGE_LEN = 30.0     # > the ~15s retransmission ladder below
+GIVE_UP_AFTER = 60.0  # no-heal cells settle into "gave-up", not "parked"
+HORIZON = 400.0
+
+
+def _build(reliability, telemetry):
+    channel = False
+    if reliability:
+        channel = {
+            # ~15s ladder: 1 + 2 + 4 + 8 -- defeated by the 30s outage.
+            "ack_timeout": 1.0, "backoff": 2.0, "max_attempts": 4,
+            "redelivery": True, "redelivery_interval": 2.0,
+            "redelivery_max_interval": 8.0,
+            "redelivery_give_up_after": GIVE_UP_AFTER,
+        }
+    spec = GridTopologySpec(
+        devices=[
+            DeviceSpec("dev1", "server", "field"),
+            DeviceSpec("dev2", "router", "field"),
+            DeviceSpec("dev3", "server", "field"),
+        ],
+        collector_hosts=[HostSpec("col1", "field")],
+        analysis_hosts=[HostSpec("inf1", "mgmt"), HostSpec("inf2", "mgmt")],
+        storage_host=HostSpec("stor", "mgmt"),
+        interface_host=HostSpec("iface", "mgmt"),
+        seed=11,
+        dataset_threshold=4,
+        policy="round-robin",
+        job_timeout=40.0,
+        reliability=channel,
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
+        telemetry=telemetry,
+    )
+    return GridManagementSystem(spec)
+
+
+def _dead_letter_records(channel):
+    count = 0
+    for dead in channel.dead_letters:
+        acl = dead.message.payload
+        if getattr(acl, "ontology", None) == "collected-batch":
+            count += len(acl.content["records"])
+    return count
+
+
+def _run_cell(reliability, telemetry, heal):
+    system = _build(reliability, telemetry)
+    system.collectors[0].poll_retries = 8
+    apply_fault_plan(system, FaultPlan([
+        FaultEvent(OUTAGE_AT, FaultEvent.HOST_DOWN, "stor",
+                   clear_after=OUTAGE_LEN if heal else None),
+    ]))
+    system.assign_goals(system.make_paper_goals(polls_per_type=4))
+    system.sim.run(until=HORIZON)
+    return system
+
+
+@pytest.mark.parametrize("telemetry", [False, True])
+@pytest.mark.parametrize("heal", [False, True])
+class TestTier0NoReliability:
+    def test_bookkeeping_only(self, telemetry, heal):
+        system = _run_cell(False, telemetry, heal)
+        assert system.reliable_channel is None
+        shipped = system.collectors[0].records_shipped
+        classified = system.classifier.records_classified
+        assert shipped > 0
+        # Records shipped into the outage vanish without a trace: the
+        # only guarantee is that nothing is double-counted.
+        assert classified <= shipped
+        # The outage was real: fire-and-forget lost records silently.
+        assert classified < shipped
+        if telemetry:
+            assert system.telemetry.recorder.orphan_spans() == []
+        else:
+            assert system.telemetry is None
+
+
+@pytest.mark.parametrize("telemetry", [False, True])
+class TestTier1ReliableNoHeal:
+    def test_no_silent_loss(self, telemetry):
+        system = _run_cell(True, telemetry, heal=False)
+        channel = system.reliable_channel
+        shipped = system.collectors[0].records_shipped
+        classified = system.classifier.records_classified
+        dead = _dead_letter_records(channel)
+        assert shipped > 0
+        # The destination never heals: envelopes exhaust, park, and the
+        # delivery budget expires -- all accounted, nothing silent.
+        assert channel.dead_letters
+        assert channel.redelivery_gave_up > 0
+        assert channel.parked_count() == 0  # budget drained the lot
+        assert classified + dead >= shipped
+        assert classified < shipped  # the loss is real, just not silent
+        if telemetry:
+            recorder = system.telemetry.recorder
+            assert recorder.orphan_spans() == []
+            # Gave-up chains terminate with an explicit dead-letter span.
+            ships = recorder.find(name="ship")
+            assert any(s.status == "dead-letter" for s in ships)
+        else:
+            assert system.telemetry is None
+
+
+@pytest.mark.parametrize("telemetry", [False, True])
+class TestTier2RedeliveryHeal:
+    def test_heal_complete(self, telemetry):
+        system = _run_cell(True, telemetry, heal=True)
+        channel = system.reliable_channel
+        shipped = system.collectors[0].records_shipped
+        classified = system.classifier.records_classified
+        assert shipped > 0
+        # The outage outlasted the retransmission ladder...
+        assert channel.dead_letters
+        # ...so only redelivery can explain exact completeness.
+        assert channel.redelivered > 0
+        assert channel.redelivery_gave_up == 0
+        assert channel.parked_count() == 0
+        assert channel.pending_count() == 0
+        assert not channel.permanently_dead()
+        assert classified == shipped
+        # The pipeline finished end to end after the heal.
+        assert system.classifier._open_dataset is None
+        assert system.root.datasets
+        assert all(s.finished for s in system.root.datasets.values())
+        assert len(system.interface.reports) >= 1
+        if telemetry:
+            recorder = system.telemetry.recorder
+            assert recorder.orphan_spans() == []
+            # Every redelivered chain re-opened and completed: no ship
+            # span terminates in a dead-letter status...
+            ships = recorder.find(name="ship")
+            assert ships
+            assert all(s.status != "dead-letter" for s in ships)
+            assert recorder.find(name="redeliver")
+            # ...and the end-to-end audit agrees.
+            pipeline = system.telemetry.pipeline_report()
+            assert pipeline["incomplete"] == []
+            assert pipeline["orphans"] == []
+            assert pipeline["complete"] == pipeline["batches"]
+        else:
+            assert system.telemetry is None

@@ -30,6 +30,34 @@ class TestSpecValidation:
                 storage_host=HostSpec("s"), interface_host=HostSpec("i"),
             )
 
+    def test_fetch_timeout_derived_from_job_timeout(self):
+        # Default: the whole retry ladder fits in half the job timeout,
+        # so a slow fetch ladder can never outlive its own job.
+        spec = GridTopologySpec.paper_figure6c(job_timeout=60.0)
+        assert spec.fetch_retries == 2
+        assert spec.fetch_timeout == pytest.approx(
+            60.0 / (2.0 * (spec.fetch_retries + 1)))
+        assert (spec.fetch_timeout * (spec.fetch_retries + 1)
+                < spec.job_timeout)
+
+    def test_fetch_timeout_ladder_must_fit_job_timeout(self):
+        with pytest.raises(ValueError, match="job_timeout"):
+            GridTopologySpec.paper_figure6c(
+                job_timeout=30.0, fetch_timeout=10.0, fetch_retries=2)
+
+    def test_fetch_parameter_validation(self):
+        with pytest.raises(ValueError, match="fetch_retries"):
+            GridTopologySpec.paper_figure6c(fetch_retries=-1)
+        with pytest.raises(ValueError, match="fetch_timeout"):
+            GridTopologySpec.paper_figure6c(fetch_timeout=0.0)
+
+    def test_fetch_settings_reach_analyzers(self):
+        system = GridManagementSystem(GridTopologySpec.paper_figure6c(
+            job_timeout=60.0, fetch_timeout=5.0, fetch_retries=3))
+        for analyzer in system.analyzers:
+            assert analyzer.fetch_timeout == 5.0
+            assert analyzer.fetch_retries == 3
+
     def test_paper_figure6c_shape(self):
         spec = GridTopologySpec.paper_figure6c()
         assert len(spec.devices) == 3
