@@ -13,6 +13,12 @@ wrote.  All compared keys are higher-is-better rates: the check fails when
 ``current < (1 - tolerance) * baseline``.  Keys missing from the baseline
 are skipped (first run after a metric is introduced); keys missing from
 the current run fail.
+
+``--floor key=value`` adds an *absolute* minimum on top of the relative
+gate: unlike the baseline comparison, it cannot drift downward when a
+regressed baseline is (re-)committed.  Used to pin hard-won improvements
+-- e.g. ``--floor spawn_join_per_sec=90000`` keeps the slim spawn/join
+win from ever silently eroding back to the pre-wheel ~68k/s level.
 """
 
 import argparse
@@ -36,7 +42,22 @@ def main(argv=None):
                         help="higher-is-better metric keys to compare")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="absolute minimum for a metric, independent of "
+                             "the baseline (repeatable)")
     args = parser.parse_args(argv)
+
+    floors = {}
+    for item in args.floor:
+        key, _, raw = item.partition("=")
+        if not key or not raw:
+            parser.error("--floor expects KEY=VALUE, got %r" % item)
+        try:
+            floors[key] = float(raw)
+        except ValueError:
+            parser.error("--floor value for %s is not a number: %r"
+                         % (key, raw))
 
     baseline = load_metrics(args.baseline)
     current = load_metrics(args.current)
@@ -59,6 +80,18 @@ def main(argv=None):
                 "%s regressed: %.0f < %.0f (baseline %.0f, tolerance %d%%)"
                 % (key, value, floor, reference, args.tolerance * 100)
             )
+    for key, minimum in sorted(floors.items()):
+        value = current.get(key)
+        if value is None:
+            failures.append("%s missing from current results (floor %.0f)"
+                            % (key, minimum))
+            continue
+        verdict = "OK" if value >= minimum else "BELOW FLOOR"
+        print("perf-check: %s  absolute-floor=%.0f  current=%.0f  %s"
+              % (key, minimum, value, verdict))
+        if value < minimum:
+            failures.append("%s below absolute floor: %.0f < %.0f"
+                            % (key, value, minimum))
     if failures:
         for failure in failures:
             print("perf-check: FAIL - %s" % failure, file=sys.stderr)

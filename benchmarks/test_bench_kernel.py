@@ -17,7 +17,11 @@ readable -- ``benchmarks/results/BENCH_kernel.json`` so future PRs have a
 perf trajectory to compare against (see DESIGN.md "Performance").
 """
 
+import gc
+import json
 import os
+import shutil
+import tempfile
 import time
 
 from repro.evaluation.export import bench_to_dict, dump_json
@@ -40,6 +44,7 @@ ROUNDS = 3
 HEAP_EVENTS = 200_000
 ZERO_DELAY_EVENTS = 200_000
 PENDING_TIMERS = 10_000
+TIMER_CHURN_EVENTS = 200_000
 SPAWN_PROCESSES = 30_000
 CONTENTION_PROCESSES = 2_000
 CONTENTION_USES = 25
@@ -63,6 +68,9 @@ def _best_rate(work, count, rounds=ROUNDS):
     """Run ``work`` (fresh state per round) and return best ops/sec."""
     best = None
     for _ in range(rounds):
+        # Drain garbage left by earlier benches/rounds so a gen-2 pause
+        # from someone else's cycles doesn't land inside this timing.
+        gc.collect()
         start = time.perf_counter()
         work()
         elapsed = time.perf_counter() - start
@@ -121,6 +129,44 @@ def test_bench_zero_delay_throughput():
     _RESULTS["zero_delay_events_per_sec"] = rate
     print("zero-delay events/sec: %.0f (%.3fs for %d)" %
           (rate, elapsed, ZERO_DELAY_EVENTS))
+
+
+def test_bench_timer_churn_throughput():
+    """Heartbeat-reset churn: the timer wheel's target profile.
+
+    ``PENDING_TIMERS`` watchdogs sit ~30s in the future; every simulated
+    second each one is cancelled and re-armed (the retransmit/heartbeat
+    reset pattern that dominates bigtopo's pending-timer population).
+    Each processed heartbeat costs one pop, one O(1) lazy cancel and two
+    near-future schedules -- superlinear on a single binary heap,
+    near-constant on the calendar wheel.
+    """
+    rounds_of_heartbeats = TIMER_CHURN_EVENTS // PENDING_TIMERS
+
+    def work():
+        sim = Simulator(seed=SEED)
+        count = [0]
+        watchdogs = [None] * PENDING_TIMERS
+
+        def expired(index):
+            raise AssertionError("watchdog %d expired mid-bench" % index)
+
+        def heartbeat(index):
+            count[0] += 1
+            watchdogs[index].cancel()
+            watchdogs[index] = sim.schedule(30.0, expired, (index,))
+            sim.schedule(1.0, heartbeat, (index,))
+
+        for index in range(PENDING_TIMERS):
+            watchdogs[index] = sim.schedule(30.0, expired, (index,))
+            sim.schedule(0.0001 * index, heartbeat, (index,))
+        sim.run(until=float(rounds_of_heartbeats))
+        assert count[0] >= TIMER_CHURN_EVENTS
+
+    rate, elapsed = _best_rate(work, TIMER_CHURN_EVENTS)
+    _RESULTS["timer_churn_per_sec"] = rate
+    print("timer churn/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, TIMER_CHURN_EVENTS))
 
 
 def test_bench_spawn_join_throughput():
@@ -241,6 +287,53 @@ def test_bench_bigtopo_wallclock():
            result.system.transport.stats()["sent"]))
 
 
+def test_bench_bigtopo_streaming_telemetry():
+    """The 500-device bigtopo run, fully traced, spans streamed to disk.
+
+    The acceptance bar for the streaming exporter: the whole traced run
+    completes with *zero* rejected spans (closed spans rotate to chunked
+    Chrome-trace files instead of hitting the in-memory capacity ceiling)
+    and leaves a readable manifest behind.
+    """
+    from repro.evaluation.experiments import run_scenario_on_grid
+    from repro.simkernel.telemetry import load_streaming_trace
+    from repro.workloads.scenarios import scaling_scenario
+
+    stream_dir = tempfile.mkdtemp(prefix="bigtopo-stream-")
+    try:
+        scenario = scaling_scenario(BIGTOPO_DEVICES,
+                                    BIGTOPO_REQUESTS_PER_TYPE)
+        start = time.perf_counter()
+        result = run_scenario_on_grid(
+            scenario, seed=SEED, timeout=8000,
+            collector_count=BIGTOPO_COLLECTORS,
+            analyzer_count=BIGTOPO_ANALYZERS,
+            dataset_threshold=scenario.total_requests,
+            telemetry={"stream_dir": stream_dir,
+                       "stream_chunk_spans": 5000},
+        )
+        elapsed = time.perf_counter() - start
+        assert result.completed
+        telemetry = result.system.telemetry
+        telemetry.finalize()
+        recorder = telemetry.recorder
+        assert recorder.dropped == 0, (
+            "streaming run rejected %d spans" % recorder.dropped)
+        loaded, manifest = load_streaming_trace(stream_dir)
+        assert manifest["finalized"]
+        assert manifest["spans_dropped"] == 0
+        total_spans = telemetry.exporter.spans_exported + len(
+            loaded.open_spans())
+        assert len(loaded.spans) == total_spans
+        _RESULTS["bigtopo_streaming_wall_seconds"] = elapsed
+        print("bigtopo streaming wall clock: %.3fs (%d spans exported in "
+              "%d chunks, %d open, 0 dropped)" % (
+                  elapsed, telemetry.exporter.spans_exported,
+                  len(manifest["chunks"]), len(loaded.open_spans())))
+    finally:
+        shutil.rmtree(stream_dir, ignore_errors=True)
+
+
 def test_bench_zero_delay_telemetry_throughput():
     """The zero-delay chain with a telemetry session attached.
 
@@ -312,8 +405,10 @@ def test_bench_kernel_export():
     expected = {
         "heap_events_per_sec",
         "zero_delay_events_per_sec",
+        "timer_churn_per_sec",
         "spawn_join_per_sec",
         "resource_uses_per_sec",
+        "bigtopo_streaming_wall_seconds",
         "transport_msgs_per_sec",
         "transport_unbatched_msgs_per_sec",
         "bigtopo_wall_seconds",

@@ -21,6 +21,7 @@ class Behaviour:
         self.agent = None
         self.process = None
         self.stopped = False
+        self._span = None  # attribution span (telemetry attribution only)
 
     # -- wiring -----------------------------------------------------------
 
@@ -30,8 +31,22 @@ class Behaviour:
         self.agent = agent
 
     def start(self):
-        self.process = self.agent.sim.spawn(
-            self._main(), name="%s/%s" % (self.agent.name, self.name)
+        agent = self.agent
+        telemetry = agent.telemetry if agent.container is not None else None
+        if telemetry is not None and telemetry.attribution:
+            # One sim-time span per behaviour activation: the trace answers
+            # "which agent's behaviours occupy the timeline" without the
+            # wall-clock KernelProfiler.  Passive -- no events, no RNG.
+            self._span = telemetry.recorder.start(
+                "behaviour:%s" % type(self).__name__,
+                telemetry.BEHAVIOUR_TRACE,
+                grid="agents",
+                host=agent.host.name,
+                agent=agent.name,
+                behaviour=self.name,
+            )
+        self.process = agent.sim.spawn(
+            self._main(), name="%s/%s" % (agent.name, self.name)
         )
 
     def kill(self):
@@ -47,8 +62,16 @@ class Behaviour:
         try:
             yield from self.run()
         finally:
-            if self.agent is not None:
-                self.agent._behaviour_finished(self)
+            agent = self.agent
+            if agent is not None:
+                agent._behaviour_finished(self)
+            span = self._span
+            if span is not None:
+                self._span = None
+                telemetry = agent.telemetry if agent is not None else None
+                if telemetry is not None:
+                    telemetry.recorder.end(
+                        span, status="stopped" if self.stopped else "ok")
 
     # -- overridables ---------------------------------------------------------
 

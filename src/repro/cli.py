@@ -98,10 +98,54 @@ def _cmd_quickstart(args):
     return 0
 
 
+def _print_span_report(recorder, pipeline, trace_count):
+    print(format_table(
+        ("stage", "spans", "open", "total s"),
+        [(name, count, open_count, format_number(duration))
+         for name, count, open_count, duration
+         in recorder.summary_rows()],
+        title="span summary (%d spans, %d traces, %d dropped):" % (
+            len(recorder), trace_count, recorder.dropped,
+        ),
+    ))
+    print()
+    print("pipeline: %d batches shipped, %d chains complete, "
+          "%d incomplete, %d orphan spans, %d open spans, "
+          "%d spans dropped" % (
+              pipeline["batches"], pipeline["complete"],
+              len(pipeline["incomplete"]), len(pipeline["orphans"]),
+              len(pipeline["open"]), pipeline["dropped"]))
+    if pipeline["dropped"]:
+        print("  WARNING: %d spans were rejected at capacity -- chain "
+              "counts above undercount (use --stream to lift the ceiling)"
+              % pipeline["dropped"])
+    for trace_id, stage, why in pipeline["incomplete"]:
+        print("  incomplete %s at %s: %s" % (trace_id, stage, why))
+
+
+def _cmd_trace_follow(args):
+    from repro.simkernel.telemetry import load_streaming_trace
+
+    recorder, manifest = load_streaming_trace(args.follow)
+    print("streaming trace %s: %d chunks, %d spans exported, "
+          "finalized=%s" % (
+              args.follow, len(manifest["chunks"]),
+              manifest["spans_exported"], manifest["finalized"]))
+    print()
+    _print_span_report(recorder, recorder.pipeline_report(),
+                       manifest.get("trace_count", 0))
+    return 0
+
+
 def _cmd_trace(args):
     from repro.core.system import GridTopologySpec, GridManagementSystem
 
-    telemetry_options = {"profile": args.profile}
+    if args.follow:
+        return _cmd_trace_follow(args)
+    telemetry_options = {"profile": args.profile,
+                         "attribution": args.attribution}
+    if args.stream:
+        telemetry_options["stream_dir"] = args.stream
     spec = GridTopologySpec.paper_figure6c(
         seed=args.seed,
         dataset_threshold=args.polls * 3,
@@ -114,24 +158,24 @@ def _cmd_trace(args):
     completed = system.run_until_records(total, timeout=3000)
     system.stop_devices()
     telemetry = system.telemetry
-    pipeline = telemetry.pipeline_report()
-    print(format_table(
-        ("stage", "spans", "open", "total s"),
-        [(name, count, open_count, format_number(duration))
-         for name, count, open_count, duration
-         in telemetry.recorder.summary_rows()],
-        title="span summary (%d spans, %d traces):" % (
-            len(telemetry.recorder), telemetry.recorder.trace_count,
-        ),
-    ))
-    print()
-    print("pipeline: %d batches shipped, %d chains complete, "
-          "%d incomplete, %d orphan spans, %d open spans" % (
-              pipeline["batches"], pipeline["complete"],
-              len(pipeline["incomplete"]), len(pipeline["orphans"]),
-              len(pipeline["open"])))
-    for trace_id, stage, why in pipeline["incomplete"]:
-        print("  incomplete %s at %s: %s" % (trace_id, stage, why))
+    telemetry.finalize()
+    if args.stream:
+        # The in-memory store is drained once streamed: audit the full
+        # on-disk view instead, exactly as --follow would.
+        from repro.simkernel.telemetry import load_streaming_trace
+
+        print("streaming trace written to %s (%d chunks, %d spans; "
+              "inspect with: repro-sim trace --follow %s)" % (
+                  args.stream, len(telemetry.exporter.chunks),
+                  telemetry.exporter.spans_exported, args.stream))
+        print()
+        recorder, _ = load_streaming_trace(args.stream)
+        _print_span_report(recorder, recorder.pipeline_report(),
+                           telemetry.recorder.trace_count)
+    else:
+        pipeline = telemetry.pipeline_report()
+        _print_span_report(telemetry.recorder, pipeline,
+                           telemetry.recorder.trace_count)
     if telemetry.profiler is not None:
         print()
         print(format_table(
@@ -257,6 +301,16 @@ def build_parser():
                        help="also profile kernel callbacks (slower)")
     trace.add_argument("--reliable", action="store_true",
                        help="route critical sends over the reliable channel")
+    trace.add_argument("--stream", metavar="DIR", default=None,
+                       help="rotate closed spans to chunked Chrome-trace "
+                            "files in DIR (no in-memory capacity ceiling)")
+    trace.add_argument("--attribution", action="store_true",
+                       help="record a sim-time span per behaviour "
+                            "activation (who occupies the timeline)")
+    trace.add_argument("--follow", metavar="DIR", default=None,
+                       help="skip the run: read a streaming-export "
+                            "manifest from DIR and print the span summary "
+                            "and pipeline audit from the on-disk chunks")
     trace.set_defaults(handler=_cmd_trace)
 
     crossover = subparsers.add_parser(

@@ -23,6 +23,16 @@ Example::
     proc = sim.spawn(worker(sim, cpu), name="worker")
     sim.run()
     assert proc.result == "done"
+
+Process setup is deliberately allocation-light (the spawn/join path runs
+hundreds of thousands of times per experiment): the ``.completion``
+:class:`SimEvent`, the per-process ``_Resumer`` and the unique-ified name
+string are all materialized lazily, only when something actually waits on
+/ reads them.  A plain ``yield child`` join never touches a SimEvent at
+all -- the child keeps a slim list of join callbacks and schedules them on
+finish, in exactly the order (and through exactly the same zero-delay
+lane) the eager completion event used, so event ordering is unchanged
+(pinned by ``tests/test_simkernel_determinism.py``).
 """
 
 from repro.simkernel.events import EventQueue, SimEvent
@@ -56,28 +66,57 @@ class Process:
         error: exception that escaped the generator, if any.
     """
 
-    def __init__(self, sim, generator, name):
+    __slots__ = ("sim", "generator", "_name", "_name_count", "done",
+                 "result", "error", "alive", "_completion", "_joiners",
+                 "_pending_wait", "_pending_timer", "_pending_use",
+                 "_resumer")
+
+    def __init__(self, sim, generator, name, name_count=0):
         self.sim = sim
         self.generator = generator
-        self.name = name
+        self._name = name
+        self._name_count = name_count
         self.done = False
         self.result = None
         self.error = None
         self.alive = True
-        self._completion = SimEvent(sim, name=name + ".done")
-        self._pending_wait = None  # (SimEvent, callback) while blocked on one
+        self._completion = None  # SimEvent, materialized on first access
+        self._joiners = None  # callbacks resumed with the result on finish
+        self._pending_wait = None  # (SimEvent-or-Process, callback) while blocked
         self._pending_timer = None  # ScheduledEvent while sleeping
         self._pending_use = None  # Use while queued/served on a resource
         # A process waits on at most one thing at a time, so a single
-        # resumer can be reused for every event wait / join it ever makes.
-        self._resumer = _Resumer(sim, self)
+        # resumer is reused for every event wait / join it ever makes --
+        # created on the first one.
+        self._resumer = None
 
     # -- public API ----------------------------------------------------
 
     @property
+    def name(self):
+        """The unique-ified process name (formatted lazily: most spawns
+        never read it, and "%s#%d" per spawn is measurable at kernel
+        microbench rates)."""
+        count = self._name_count
+        if count:
+            self._name = "%s#%d" % (self._name, count)
+            self._name_count = 0
+        return self._name
+
+    @property
     def completion(self):
-        """SimEvent triggered with the result when the process ends."""
-        return self._completion
+        """SimEvent triggered with the result when the process ends.
+
+        Materialized on demand: a plain ``yield process`` join uses the
+        slim joiner list instead, so most processes never allocate this.
+        """
+        completion = self._completion
+        if completion is None:
+            completion = SimEvent(self.sim, name=self.name + ".done")
+            self._completion = completion
+            if self.done:
+                completion.trigger(self.result)
+        return completion
 
     def kill(self):
         """Terminate the process immediately; no further resumption."""
@@ -100,14 +139,24 @@ class Process:
 
     # -- kernel internals ----------------------------------------------
 
+    def discard_waiter(self, callback):
+        """Remove a pending join callback (mirrors SimEvent.discard_waiter
+        so :meth:`_detach` can treat event waits and joins uniformly)."""
+        joiners = self._joiners
+        if joiners is not None:
+            try:
+                joiners.remove(callback)
+            except ValueError:
+                pass
+
     def _detach(self):
         """Remove the process from whatever it is currently blocked on."""
         if self._pending_timer is not None:
             self._pending_timer.cancel()
             self._pending_timer = None
         if self._pending_wait is not None:
-            event, callback = self._pending_wait
-            event.discard_waiter(callback)
+            target, callback = self._pending_wait
+            target.discard_waiter(callback)
             self._pending_wait = None
         if self._pending_use is not None:
             self._pending_use.resource._abandon(self._pending_use)
@@ -117,8 +166,22 @@ class Process:
         self.done = True
         self.alive = False
         self.result = result
-        if not self._completion.triggered:
-            self._completion.trigger(result)
+        # The generator is spent: dropping the reference frees its frame by
+        # refcount instead of leaving a Process<->frame cycle for the GC
+        # (measurable as gen-2 pauses at kernel microbench spawn rates).
+        self.generator = None
+        completion = self._completion
+        if completion is not None and not completion.triggered:
+            completion.trigger(result)
+        joiners = self._joiners
+        if joiners is not None:
+            self._joiners = None
+            schedule_now = self.sim._schedule_now
+            step = self.sim._step
+            for callback in joiners:
+                # Joiners are always _Resumer instances: schedule the step
+                # directly instead of paying an extra __call__ frame each.
+                schedule_now(step, (callback.process, result))
         if killed:
             return
         if self.error is not None and not self.sim.swallow_process_errors:
@@ -144,7 +207,7 @@ class Simulator:
         self.seed = seed
         self.swallow_process_errors = swallow_process_errors
         self.queue = EventQueue()
-        self.processes = []
+        self.spawned = 0
         self._name_counts = {}
         self._trace_hooks = []
         self._profiler = None
@@ -156,7 +219,7 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay == 0 and priority == 0:
             # Zero-delay lane: same-instant default-priority callbacks skip
-            # the heap entirely (see EventQueue.push_fifo).
+            # the timer structures entirely (see EventQueue.push_fifo).
             return self.queue.push_fifo(self.now, callback, args)
         if delay < 0:
             raise SimulationError("cannot schedule in the past (delay=%r)" % delay)
@@ -182,13 +245,12 @@ class Simulator:
         """Start a new process from a generator; returns the Process."""
         if name is None:
             name = getattr(generator, "__name__", "process")
-        count = self._name_counts.get(name, 0)
-        self._name_counts[name] = count + 1
-        if count:
-            name = "%s#%d" % (name, count)
-        process = Process(self, generator, name)
-        self.processes.append(process)
-        self._schedule_now(self._step, (process, None, None))
+        counts = self._name_counts
+        count = counts.get(name, 0)
+        counts[name] = count + 1
+        process = Process(self, generator, name, count)
+        self.spawned += 1
+        self.queue.push_fifo(self.now, self._step, (process, None, None))
         return process
 
     def _step(self, process, send=None, throw=None):
@@ -204,7 +266,7 @@ class Simulator:
             else:
                 item = process.generator.send(send)
         except StopIteration as stop:
-            process._finish(getattr(stop, "value", None))
+            process._finish(stop.value)
             return
         except (Interrupted, ProcessKilled):
             process._finish(None, killed=True)
@@ -217,14 +279,19 @@ class Simulator:
 
     def _dispatch_yield(self, process, item):
         if isinstance(item, (int, float)):
-            if item < 0:
+            # Inlined schedule(): sleeps run at kernel microbench rates.
+            if item > 0:
+                process._pending_timer = self.queue.push(
+                    self.now + item, self._step, (process, None, None)
+                )
+            elif item == 0:
+                self.queue.push_fifo(self.now, self._step, (process, None, None))
+            else:
                 self._step(process, throw=SimulationError("negative sleep %r" % item))
-                return
-            process._pending_timer = self.schedule(
-                item, self._step, (process, None, None)
-            )
         elif isinstance(item, SimEvent):
             callback = process._resumer
+            if callback is None:
+                callback = process._resumer = _Resumer(self, process)
             process._pending_wait = (item, callback)
             item.add_waiter(callback)
         elif isinstance(item, Use):
@@ -232,8 +299,27 @@ class Simulator:
             item.resource._enqueue(process, item)
         elif isinstance(item, Process):
             callback = process._resumer
-            process._pending_wait = (item.completion, callback)
-            item.completion.add_waiter(callback)
+            if callback is None:
+                callback = process._resumer = _Resumer(self, process)
+            if item.done:
+                # One-shot join fast path: the result is already known, so
+                # resume through the zero-delay lane exactly as a triggered
+                # completion event would have.
+                self.queue.push_fifo(self.now, callback, (item.result,))
+                return
+            completion = item._completion
+            if completion is not None:
+                # Someone materialized the completion event -- keep every
+                # waiter (event and join alike) in its single waiter list
+                # so resumption order is exactly the eager-SimEvent order.
+                process._pending_wait = (completion, callback)
+                completion.add_waiter(callback)
+                return
+            joiners = item._joiners
+            if joiners is None:
+                joiners = item._joiners = []
+            joiners.append(callback)
+            process._pending_wait = (item, callback)
         else:
             self._step(
                 process,
@@ -253,6 +339,22 @@ class Simulator:
         bounded = until is not None or max_events is not None
         hooks = self._trace_hooks
         profiler = self._profiler
+        if not bounded and profiler is None:
+            # The unbounded, unprofiled loop is the kernel's hottest path:
+            # strip the per-event bookkeeping branches entirely.  ``hooks``
+            # is the live list, so hooks added mid-run are still honoured.
+            while True:
+                event = pop()
+                if event is None:
+                    break
+                if event.time < self.now - 1e-12:
+                    raise SimulationError("time went backwards")
+                self.now = event.time
+                if hooks:
+                    for hook in hooks:
+                        hook(self.now, event)
+                event.callback(*event.args)
+            return self.now
         if profiler is not None:
             from time import perf_counter
             account = profiler.account
@@ -324,7 +426,7 @@ class _Resumer:
         self.process = process
 
     def __call__(self, value):
-        self.sim._step(self.process, send=value)
+        self.sim._step(self.process, value)
 
     def __eq__(self, other):
         return isinstance(other, _Resumer) and other.process is self.process

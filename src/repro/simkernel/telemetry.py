@@ -43,6 +43,8 @@ Span statuses form a small vocabulary:
 """
 
 import collections
+import json
+import os
 
 
 #: Spans whose status ends a chain without reaching the next stage.
@@ -132,6 +134,9 @@ class SpanRecorder:
         self.capacity = capacity
         self.spans = []
         self.dropped = 0
+        #: Optional :class:`StreamingTraceExporter`; when set, closed spans
+        #: are rotated to disk and evicted so capacity is never reached.
+        self.exporter = None
         self._by_id = {}
         self._next_span = 1
         self._next_trace = 1
@@ -189,6 +194,9 @@ class SpanRecorder:
         span.status = status
         if detail:
             span.detail.update(detail)
+        exporter = self.exporter
+        if exporter is not None:
+            exporter.span_closed()
         return span
 
     def link(self, span, contributors):
@@ -266,7 +274,10 @@ class SpanRecorder:
           terminates in an explicitly-statused dead-letter span;
         * ``incomplete`` -- list of ``(trace_id, stage, why)`` for the rest;
         * ``orphans`` -- :meth:`orphan_spans` (must be empty);
-        * ``open`` -- spans never closed (in-flight work at shutdown).
+        * ``open`` -- spans never closed (in-flight work at shutdown);
+        * ``dropped`` -- spans rejected at capacity.  A non-zero value
+          means the other numbers undercount: capacity drops must never be
+          mistaken for complete chains.
 
         The merge points (many classify spans -> one notify; one notify ->
         many dispatch attempts) are followed through span ``links``.
@@ -317,6 +328,7 @@ class SpanRecorder:
             "incomplete": incomplete,
             "orphans": self.orphan_spans(),
             "open": self.open_spans(),
+            "dropped": self.dropped,
         }
 
     # -- export ------------------------------------------------------------
@@ -403,6 +415,246 @@ class SpanRecorder:
             len(self.spans), self.dropped)
 
 
+class StreamingTraceExporter:
+    """Rotate closed spans to disk as chunked Chrome-trace files.
+
+    The in-memory :class:`SpanRecorder` rejects new spans at capacity --
+    correct for bounded runs, a ceiling for week-long diurnal or
+    5000-device traced runs.  This exporter removes the ceiling: every
+    ``chunk_spans`` closed spans are appended to ``chunk-NNNNN.json`` in
+    ``directory`` and *evicted* from memory, so the recorder holds only
+    open spans plus the current partial chunk and ``dropped`` stays zero.
+
+    On-disk layout (all JSON):
+
+    * ``chunk-00000.json``, ``chunk-00001.json``, ... -- each a
+      self-contained ``{"traceEvents": [...]}`` file of complete ("X")
+      events, loadable directly in ``chrome://tracing`` / Perfetto.  Span
+      identity, causality and precise times ride in ``args`` (``span_id``,
+      ``trace_id``, ``parent_id``, ``links``, ``t0``/``t1``, ``detail``)
+      so :func:`load_streaming_trace` can reconstruct the exact spans.
+    * ``manifest.json`` -- chunk list with span counts, cumulative totals
+      (exported / open / dropped), the stable pid/tid naming tables and a
+      ``finalized`` flag.  Rewritten after every chunk, so a crash loses at
+      most the current partial chunk.
+
+    Caveats: once a span is exported, later ``link()`` / detail mutations
+    are not reflected on disk (in-tree callers only mutate open spans),
+    and the live recorder's ``pipeline_report()`` only sees what is still
+    in memory -- use ``repro-sim trace --follow`` for the full audit.
+
+    Args:
+        recorder: the :class:`SpanRecorder` to drain (takes ownership of
+            its ``exporter`` hook).
+        directory: output directory, created if missing.
+        chunk_spans: closed spans per chunk file.
+    """
+
+    def __init__(self, recorder, directory, chunk_spans=5000):
+        if chunk_spans < 1:
+            raise ValueError("chunk_spans must be >= 1")
+        self.recorder = recorder
+        self.directory = directory
+        self.chunk_spans = chunk_spans
+        self.spans_exported = 0
+        self.chunks = []  # manifest rows
+        self.finalized = False
+        self._closed = 0  # closed-but-not-yet-exported spans
+        self._pids = {}
+        self._tids = {}
+        os.makedirs(directory, exist_ok=True)
+        recorder.exporter = self
+
+    # -- recorder hook -----------------------------------------------------
+
+    def span_closed(self):
+        """Called by the recorder on every span end; rotates when due."""
+        self._closed += 1
+        if self._closed >= self.chunk_spans and not self.finalized:
+            self.flush()
+
+    # -- rotation ----------------------------------------------------------
+
+    def _span_event(self, span, provisional_end):
+        """One Chrome-trace "X" event carrying full span identity."""
+        process = span.host or span.grid or "?"
+        thread = span.agent or span.name
+        pid = self._pids.setdefault(process, len(self._pids) + 1)
+        tid = self._tids.setdefault((process, thread), len(self._tids) + 1)
+        end = span.t_end if span.t_end is not None else provisional_end
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "status": span.status,
+            "grid": span.grid,
+            "host": span.host,
+            "agent": span.agent,
+            "t0": span.t_start,
+        }
+        if span.t_end is not None:
+            args["t1"] = span.t_end
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.links:
+            args["links"] = [list(link) for link in span.links]
+        if span.detail:
+            args["detail"] = dict(span.detail)
+        return {
+            "name": span.name,
+            "cat": span.grid or "span",
+            "ph": "X",
+            "ts": span.t_start * 1e6,
+            "dur": (end - span.t_start) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+
+    def _write_chunk(self, spans, provisional_end):
+        filename = "chunk-%05d.json" % len(self.chunks)
+        events = [self._span_event(span, provisional_end) for span in spans]
+        with open(os.path.join(self.directory, filename), "w") as handle:
+            json.dump({"traceEvents": events}, handle)
+        self.chunks.append({
+            "file": filename,
+            "spans": len(spans),
+            "first_span_id": spans[0].span_id,
+            "last_span_id": spans[-1].span_id,
+        })
+
+    def flush(self):
+        """Export every closed span to a new chunk and evict it from memory.
+
+        No-op when nothing is closed.  The manifest is rewritten afterwards
+        so the on-disk state is always internally consistent.
+        """
+        recorder = self.recorder
+        closed = [span for span in recorder.spans if span.t_end is not None]
+        if closed:
+            self._write_chunk(closed, recorder.sim.now)
+            recorder.spans = [
+                span for span in recorder.spans if span.t_end is None
+            ]
+            by_id = recorder._by_id
+            for span in closed:
+                del by_id[span.span_id]
+            self.spans_exported += len(closed)
+        self._closed = 0
+        self.write_manifest()
+
+    def finalize(self):
+        """Flush the tail, export still-open spans provisionally, seal.
+
+        Open spans are written (status ``"open"``, end = current time) to a
+        final chunk but stay in memory; the manifest's ``finalized`` flag
+        flips so late rotations cannot corrupt the sealed layout.
+        Idempotent.
+        """
+        if self.finalized:
+            return
+        recorder = self.recorder
+        now = recorder.sim.now
+        closed = [span for span in recorder.spans if span.t_end is not None]
+        still_open = [span for span in recorder.spans if span.t_end is None]
+        tail = closed + still_open
+        if tail:
+            self._write_chunk(tail, now)
+            recorder.spans = still_open
+            by_id = recorder._by_id
+            for span in closed:
+                del by_id[span.span_id]
+            self.spans_exported += len(closed)
+        self._closed = 0
+        self.finalized = True
+        self.write_manifest()
+
+    def write_manifest(self):
+        recorder = self.recorder
+        manifest = {
+            "format": "repro-streaming-trace",
+            "version": 1,
+            "chunk_spans": self.chunk_spans,
+            "chunks": list(self.chunks),
+            "spans_exported": self.spans_exported,
+            "spans_open": len(recorder.open_spans()),
+            "spans_dropped": recorder.dropped,
+            "trace_count": recorder.trace_count,
+            "finalized": self.finalized,
+            "displayTimeUnit": "ms",
+            "processes": dict(self._pids),
+            "threads": [
+                [process, thread, tid]
+                for (process, thread), tid in self._tids.items()
+            ],
+            "generator": "repro.simkernel.telemetry",
+        }
+        path = os.path.join(self.directory, "manifest.json")
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(tmp_path, path)
+        return manifest
+
+    def __repr__(self):
+        return "StreamingTraceExporter(%r, chunks=%d, exported=%d)" % (
+            self.directory, len(self.chunks), self.spans_exported)
+
+
+#: args keys carrying span identity in streamed chunk events; everything
+#: else under "detail" is the span's free-form detail dict.
+_STREAM_ARG_KEYS = frozenset((
+    "trace_id", "span_id", "parent_id", "status", "grid", "host", "agent",
+    "t0", "t1", "links", "detail",
+))
+
+
+def load_streaming_trace(directory):
+    """Rebuild ``(recorder, manifest)`` from a streaming-export directory.
+
+    The returned :class:`SpanRecorder` is offline (``sim=None``) but fully
+    populated -- ``summary_rows``, ``pipeline_report`` and
+    ``counts_by_name`` work exactly as on the live recorder, including the
+    manifest's ``spans_dropped`` count.  Spans exported provisionally
+    (status ``"open"``) come back as open spans (``t_end=None``).
+    """
+    manifest_path = os.path.join(directory, "manifest.json")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != "repro-streaming-trace":
+        raise ValueError("%s is not a streaming-trace manifest" % manifest_path)
+    recorder = SpanRecorder(sim=None, capacity=0)
+    spans = []
+    for chunk in manifest["chunks"]:
+        with open(os.path.join(directory, chunk["file"])) as handle:
+            payload = json.load(handle)
+        for event in payload["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            args = event["args"]
+            span = Span(
+                args["span_id"], args["trace_id"], args.get("parent_id"),
+                event["name"], args.get("grid", ""), args.get("host", ""),
+                args.get("agent", ""), args["t0"], args.get("detail", {}),
+            )
+            span.status = args.get("status", "ok")
+            span.t_end = args.get("t1")
+            span.links = tuple(
+                (trace_id, span_id)
+                for trace_id, span_id in args.get("links", ())
+            )
+            spans.append(span)
+    # Long-open spans are exported after later-started ones: restore
+    # allocation order so the rebuilt recorder matches the live one.
+    spans.sort(key=lambda span: span.span_id)
+    recorder.spans = spans
+    recorder._by_id = {span.span_id: span for span in spans}
+    recorder._next_span = spans[-1].span_id + 1 if spans else 1
+    recorder._next_trace = manifest.get("trace_count", 0) + 1
+    recorder.dropped = manifest.get("spans_dropped", 0)
+    recorder.capacity = len(spans)
+    return recorder, manifest
+
+
 class KernelProfiler:
     """Per-callback-qualname time/count accounting for the simulator loop.
 
@@ -458,6 +710,15 @@ class Telemetry:
         capacity: span-store bound (see :class:`SpanRecorder`).
         profile: install a :class:`KernelProfiler` on the simulator hot
             loop (off by default; expensive at microbench rates).
+        stream_dir: when set, attach a :class:`StreamingTraceExporter`
+            rotating closed spans to this directory (removes the capacity
+            ceiling for week-long / 5000-device traced runs).  Call
+            :meth:`finalize` when the run ends.
+        stream_chunk_spans: closed spans per streamed chunk file.
+        attribution: record a sim-time span per behaviour activation
+            (trace ``"t-behaviours"``), so traces answer "which agent's
+            behaviours occupy the timeline" -- see
+            :meth:`repro.agents.behaviours.Behaviour.start`.
 
     Components *register sources* -- ``(labels, supplier)`` pairs where
     ``supplier()`` returns a flat name->number dict -- so one snapshot
@@ -466,12 +727,22 @@ class Telemetry:
     directly by instrumented components (e.g. the reliable channel).
     """
 
-    def __init__(self, sim, capacity=100_000, profile=False):
+    #: Reserved trace id grouping behaviour-attribution spans; fixed (not
+    #: allocated) so enabling attribution never renumbers batch traces.
+    BEHAVIOUR_TRACE = "t-behaviours"
+
+    def __init__(self, sim, capacity=100_000, profile=False, stream_dir=None,
+                 stream_chunk_spans=5000, attribution=False):
         from repro.simkernel.metrics import MetricRegistry
 
         self.sim = sim
         self.recorder = SpanRecorder(sim, capacity=capacity)
         self.registry = MetricRegistry()
+        self.attribution = attribution
+        self.exporter = None
+        if stream_dir is not None:
+            self.exporter = StreamingTraceExporter(
+                self.recorder, stream_dir, chunk_spans=stream_chunk_spans)
         self.profiler = None
         if profile:
             self.profiler = KernelProfiler()
@@ -506,6 +777,8 @@ class Telemetry:
                 "by_name": self.recorder.counts_by_name(),
             },
         }
+        if self.exporter is not None:
+            payload["spans"]["exported"] = self.exporter.spans_exported
         if self.profiler is not None:
             payload["kernel_profile"] = self.profiler.snapshot()
         return payload
@@ -517,6 +790,11 @@ class Telemetry:
 
     def pipeline_report(self):
         return self.recorder.pipeline_report()
+
+    def finalize(self):
+        """Seal the streaming export, if one is attached (else a no-op)."""
+        if self.exporter is not None:
+            self.exporter.finalize()
 
     def __repr__(self):
         return "Telemetry(spans=%d, sources=%d, profile=%s)" % (

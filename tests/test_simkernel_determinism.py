@@ -156,3 +156,179 @@ def test_repeated_runs_are_identical(scripts, kills):
     first = _run_scenario(scripts, kills)
     second = _run_scenario(scripts, kills)
     assert first == second
+
+
+# -- timer wheel vs single heap ----------------------------------------------
+
+# Delays span several bucket widths and reach past the wheel span (with the
+# tiny span below) so pushes hit every lane: the activated bucket, pending
+# buckets, the far-future heap fallback, and the fast lane.
+WHEEL_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "push", "push_fifo", "cancel", "pop"]),
+        st.floats(0.0, 12.0, allow_nan=False, allow_infinity=False),
+        st.integers(-2, 2),
+        st.integers(0, 10_000),
+    ),
+    max_size=150,
+)
+
+
+def _apply_ops(queue, ops):
+    """Run an op script against ``queue``; return the observable history.
+
+    Every push/pop/peek outcome is recorded as plain ``(time, priority,
+    seq)`` tuples so histories from two queue implementations compare
+    directly.
+    """
+    now = 0.0
+    handles = []
+    history = []
+    for op, delay, priority, pick in ops:
+        if op == "push":
+            event = queue.push(now + delay, lambda: None, (), priority)
+            handles.append(event)
+        elif op == "push_fifo":
+            handles.append(queue.push_fifo(now, lambda: None))
+        elif op == "cancel":
+            if handles:
+                handles[pick % len(handles)].cancel()
+        else:  # pop
+            event = queue.pop()
+            if event is not None:
+                now = event.time
+                history.append(("pop", event.time, event.priority, event.seq))
+            else:
+                history.append(("pop", None))
+        history.append(("len", len(queue)))
+        history.append(("peek", queue.peek_time()))
+    while (event := queue.pop()) is not None:
+        history.append(("drain", event.time, event.priority, event.seq))
+    return history
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=WHEEL_OPS)
+def test_timer_wheel_matches_single_heap(ops):
+    # Tiny width/span and min_pending=0 force the wheel through bucket
+    # activation, the in-activated-bucket insort path, and the far-future
+    # heap fallback on short scripts.  The heap queue is the reference.
+    wheel = EventQueue(wheel=True, wheel_width=0.5, wheel_span=8,
+                       wheel_min_pending=0)
+    heap = EventQueue(wheel=False)
+    assert _apply_ops(wheel, ops) == _apply_ops(heap, ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=WHEEL_OPS)
+def test_timer_wheel_default_tuning_matches_heap(ops):
+    # The shipped defaults (min_pending gate active) must agree too: the
+    # heap<->wheel handover happens mid-script as the queue grows/shrinks.
+    wheel = EventQueue(wheel=True, wheel_width=0.5, wheel_span=8192,
+                       wheel_min_pending=4)
+    heap = EventQueue(wheel=False)
+    assert _apply_ops(wheel, ops) == _apply_ops(heap, ops)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scripts=SCRIPTS, kills=KILLS)
+def test_full_simulator_identical_with_wheel_disabled(scripts, kills):
+    # Whole-kernel A/B: the same random scenario, once on the default
+    # wheel queue and once on the plain heap, must produce identical
+    # traces, ledgers and process outcomes.
+    import repro.simkernel.simulator as simulator_module
+
+    with_wheel = _run_scenario(scripts, kills)
+    original = simulator_module.EventQueue
+    simulator_module.EventQueue = lambda: EventQueue(wheel=False)
+    try:
+        without_wheel = _run_scenario(scripts, kills)
+    finally:
+        simulator_module.EventQueue = original
+    assert with_wheel == without_wheel
+
+
+def test_figure6_bytes_identical_with_wheel_disabled(monkeypatch):
+    """The paper reproduction must not notice the scheduler swap."""
+    import json
+
+    from repro.baselines.driver import run_figure6
+    from repro.evaluation import export
+
+    def render(results):
+        reports = "\n".join(
+            results[label].report.render()
+            for label in ("centralized", "multiagent", "grid"))
+        payload = json.dumps(
+            {label: export.run_result_to_dict(result)
+             for label, result in results.items()},
+            sort_keys=True)
+        return reports + "\n" + payload
+
+    with_wheel = render(run_figure6(polls_per_type=3, seed=42))
+    import repro.simkernel.simulator as simulator_module
+
+    monkeypatch.setattr(simulator_module, "EventQueue",
+                        lambda: EventQueue(wheel=False))
+    without_wheel = render(run_figure6(polls_per_type=3, seed=42))
+    assert with_wheel == without_wheel
+
+
+# -- slim join vs eager completion events -------------------------------------
+
+JOIN_SCRIPTS = st.lists(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 4)),
+             max_size=5),
+    min_size=1, max_size=5,
+)
+
+
+def _run_join_scenario(scripts, mode):
+    """Parents join children via ``mode``; returns the observable outcome.
+
+    Modes:
+        process: plain ``yield child`` (slim joiner list, no SimEvent).
+        completion: ``yield child.completion`` (eager SimEvent path).
+        touch: materialize ``child.completion`` first, then ``yield child``
+            -- both mechanisms armed at once.
+    """
+    sim = Simulator(seed=11, swallow_process_errors=True)
+    trace = []
+    sim.add_trace_hook(
+        lambda now, event: trace.append((now, event.priority, event.seq)))
+    results = []
+
+    def child(steps):
+        total = 0
+        for sleep, value in steps:
+            yield sleep * 0.25
+            total += value
+        return total
+
+    def parent(steps):
+        target = sim.spawn(child(steps), name="child")
+        if mode == "completion":
+            result = yield target.completion
+        elif mode == "touch":
+            _ = target.completion  # materialize before the join
+            result = yield target
+        else:
+            result = yield target
+        results.append(result)
+        # Join again after completion: the done-process fast path must
+        # resume at the same instant regardless of mechanism.
+        late = yield target if mode != "completion" else target.completion
+        results.append(late)
+
+    for index, steps in enumerate(scripts):
+        sim.spawn(parent(steps), name="parent%d" % index)
+    sim.run(until=1000.0)
+    return trace, results
+
+
+@settings(max_examples=40, deadline=None)
+@given(scripts=JOIN_SCRIPTS)
+def test_join_paths_are_equivalent(scripts):
+    baseline = _run_join_scenario(scripts, "process")
+    assert _run_join_scenario(scripts, "touch") == baseline
+    assert _run_join_scenario(scripts, "completion") == baseline
