@@ -19,6 +19,14 @@ gate: unlike the baseline comparison, it cannot drift downward when a
 regressed baseline is (re-)committed.  Used to pin hard-won improvements
 -- e.g. ``--floor spawn_join_per_sec=90000`` keeps the slim spawn/join
 win from ever silently eroding back to the pre-wheel ~68k/s level.
+
+``--ratio NUM/DEN=MAX`` gates a *lower-is-better* relationship between
+two metrics of the same current run (no baseline involved): the check
+fails when ``current[NUM] > MAX * current[DEN]``.  Used for scaling
+laws -- e.g. ``--ratio
+bigtopo5000_wall_per_device/bigtopo1000_wall_per_device=1.3`` keeps the
+sharded 5000-device run's per-device wall cost within 1.3x the
+1000-device figure (near-linear scale-out).
 """
 
 import argparse
@@ -46,6 +54,11 @@ def main(argv=None):
                         metavar="KEY=VALUE",
                         help="absolute minimum for a metric, independent of "
                              "the baseline (repeatable)")
+    parser.add_argument("--ratio", action="append", default=[],
+                        metavar="NUM/DEN=MAX",
+                        help="lower-is-better ceiling on current[NUM] / "
+                             "current[DEN], independent of the baseline "
+                             "(repeatable)")
     args = parser.parse_args(argv)
 
     floors = {}
@@ -58,6 +71,18 @@ def main(argv=None):
         except ValueError:
             parser.error("--floor value for %s is not a number: %r"
                          % (key, raw))
+
+    ratios = []
+    for item in args.ratio:
+        keys, _, raw = item.partition("=")
+        numerator, slash, denominator = keys.partition("/")
+        if not numerator or not slash or not denominator or not raw:
+            parser.error("--ratio expects NUM/DEN=MAX, got %r" % item)
+        try:
+            ratios.append((numerator, denominator, float(raw)))
+        except ValueError:
+            parser.error("--ratio ceiling for %s is not a number: %r"
+                         % (keys, raw))
 
     baseline = load_metrics(args.baseline)
     current = load_metrics(args.current)
@@ -92,6 +117,31 @@ def main(argv=None):
         if value < minimum:
             failures.append("%s below absolute floor: %.0f < %.0f"
                             % (key, value, minimum))
+    for numerator, denominator, maximum in ratios:
+        label = "%s/%s" % (numerator, denominator)
+        top = current.get(numerator)
+        bottom = current.get(denominator)
+        if top is None or bottom is None:
+            missing = [key for key, value
+                       in ((numerator, top), (denominator, bottom))
+                       if value is None]
+            failures.append("%s missing from current results (ratio gate "
+                            "%s<=%.3g)" % (", ".join(missing), label, maximum))
+            continue
+        if bottom <= 0:
+            failures.append("%s denominator is %.3g, cannot gate ratio %s"
+                            % (denominator, bottom, label))
+            continue
+        ratio = top / bottom
+        verdict = "OK" if ratio <= maximum else "ABOVE CEILING"
+        print("perf-check: %s  ratio=%.3f  ceiling=%.3f  "
+              "(num=%.4g den=%.4g)  %s"
+              % (label, ratio, maximum, top, bottom, verdict))
+        if ratio > maximum:
+            failures.append(
+                "%s ratio above ceiling: %.3f > %.3f (scaling is no longer "
+                "near-linear)" % (label, ratio, maximum)
+            )
     if failures:
         for failure in failures:
             print("perf-check: FAIL - %s" % failure, file=sys.stderr)

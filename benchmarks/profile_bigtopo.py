@@ -15,7 +15,13 @@ sim-time saturation point.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/profile_bigtopo.py [--requests 50]
+    PYTHONPATH=src python benchmarks/profile_bigtopo.py \\
+        [--devices 500] [--rpt 50] [--shards 1]
+
+With the default ``--devices 500`` the results keep their historical
+``PROFILE_bigtopo_rpt50`` name; any other device count writes
+``PROFILE_bigtopo_d{N}.{txt,json}`` so profiles at several sizes can sit
+side by side.
 """
 
 import argparse
@@ -25,7 +31,7 @@ import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-DEVICES = 500
+DEFAULT_DEVICES = 500
 COLLECTORS = 16
 ANALYZERS = 14
 TIMEOUT = 8000.0
@@ -34,21 +40,29 @@ SEED = 42
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--requests", type=int, default=50,
+    parser.add_argument("--devices", type=int, default=DEFAULT_DEVICES,
+                        help="managed-device count (default %d)"
+                             % DEFAULT_DEVICES)
+    parser.add_argument("--rpt", "--requests", dest="requests", type=int,
+                        default=50,
                         help="requests per type (default 50, the config "
                              "that misses the timeout)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="classifier/storage shards (default 1; the "
+                             "5000-device profile wants 8)")
     args = parser.parse_args()
 
     from repro.evaluation.experiments import run_scenario_on_grid
     from repro.workloads.scenarios import scaling_scenario
 
-    scenario = scaling_scenario(DEVICES, args.requests)
+    scenario = scaling_scenario(args.devices, args.requests)
     start = time.perf_counter()
     result = run_scenario_on_grid(
         scenario, seed=SEED, timeout=TIMEOUT,
         collector_count=COLLECTORS, analyzer_count=ANALYZERS,
         dataset_threshold=scenario.total_requests,
         telemetry={"profile": True},
+        shards=args.shards,
     )
     wall = time.perf_counter() - start
     system = result.system
@@ -58,13 +72,14 @@ def main():
 
     records = result.records_analyzed
     header = (
-        "bigtopo profile: devices=%d requests_per_type=%d seed=%d\n"
+        "bigtopo profile: devices=%d requests_per_type=%d shards=%d "
+        "seed=%d\n"
         "completed=%s  makespan=%.1f sim-s (timeout %.0f)  wall=%.1fs\n"
         "records analyzed: %d of %d requested\n"
         "callback total: %.2fs across %d distinct callbacks\n"
-        % (DEVICES, args.requests, SEED, result.completed, result.makespan,
-           TIMEOUT, wall, records, scenario.total_requests, total_wall,
-           len(profiler.stats))
+        % (args.devices, args.requests, args.shards, SEED, result.completed,
+           result.makespan, TIMEOUT, wall, records, scenario.total_requests,
+           total_wall, len(profiler.stats))
     )
     lines = [header, "%-55s %10s %10s %8s" %
              ("callback", "events", "total s", "share")]
@@ -76,13 +91,18 @@ def main():
     print(text)
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    txt_path = os.path.join(RESULTS_DIR, "PROFILE_bigtopo_rpt50.txt")
+    if args.devices == DEFAULT_DEVICES:
+        stem = "PROFILE_bigtopo_rpt50"  # historical name, other tools read it
+    else:
+        stem = "PROFILE_bigtopo_d%d" % args.devices
+    txt_path = os.path.join(RESULTS_DIR, stem + ".txt")
     with open(txt_path, "w") as handle:
         handle.write(text)
-    json_path = os.path.join(RESULTS_DIR, "PROFILE_bigtopo_rpt50.json")
+    json_path = os.path.join(RESULTS_DIR, stem + ".json")
     with open(json_path, "w") as handle:
         json.dump({
-            "devices": DEVICES,
+            "devices": args.devices,
+            "shards": args.shards,
             "requests_per_type": args.requests,
             "seed": SEED,
             "completed": result.completed,

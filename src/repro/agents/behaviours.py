@@ -172,6 +172,38 @@ class TickerBehaviour(Behaviour):
         yield  # pragma: no cover
 
 
+class MultiplexedTickerBehaviour(TickerBehaviour):
+    """One ticker process driving many plain callbacks.
+
+    N per-agent watchdogs cost N kernel processes and N timer events per
+    period; the sharded grid coalesces them into a single multiplexed
+    ticker (one process, one timer event) that calls each registered
+    callback in registration order.  Callbacks must be plain callables
+    (no generators -- they run inside the shared tick and may not block);
+    a callback returning work to do should schedule it itself.
+    """
+
+    def __init__(self, period, name=None, max_ticks=None, initial_delay=None):
+        super().__init__(period, name=name, max_ticks=max_ticks,
+                         initial_delay=initial_delay)
+        self._callbacks = []
+
+    def add_callback(self, callback):
+        if not callable(callback):
+            raise TypeError("callback must be callable")
+        self._callbacks.append(callback)
+        return self
+
+    def remove_callback(self, callback):
+        self._callbacks.remove(callback)
+
+    def on_tick(self):
+        for callback in list(self._callbacks):
+            callback()
+        return
+        yield  # pragma: no cover - keeps on_tick a generator for run()
+
+
 class FSMBehaviour(Behaviour):
     """A finite-state-machine behaviour.
 

@@ -93,7 +93,10 @@ DATA_READY = Ontology(
 )
 
 #: Analysis job assignment (PG root -> container, Figure 3).  Level-3
-#: (cross) jobs additionally carry the level-1/2 problems to correlate.
+#: (cross) jobs additionally carry the level-1/2 problems to correlate;
+#: on a sharded grid they also carry ``shards`` -- the (storage_host,
+#: dataset) pairs of the scatter-gather round, so the analyzer fetches
+#: every shard's summary before correlating.
 ANALYSIS_JOB = Ontology(
     "analysis-job",
     fields={
@@ -104,8 +107,9 @@ ANALYSIS_JOB = Ontology(
         "level": int,
         "storage_host": str,
         "problems": (list, tuple),
+        "shards": (list, tuple),
     },
-    optional=("problems",),
+    optional=("problems", "shards"),
 )
 
 #: Analysis outcome (container -> PG root).

@@ -151,6 +151,7 @@ def _cmd_trace(args):
         dataset_threshold=args.polls * 3,
         telemetry=telemetry_options,
         reliability=args.reliable,
+        shards=args.shards,
     )
     system = GridManagementSystem(spec)
     system.assign_goals(system.make_paper_goals(polls_per_type=args.polls))
@@ -297,6 +298,10 @@ def build_parser():
                        help="write the Chrome-trace/Perfetto timeline here")
     trace.add_argument("--metrics", metavar="PATH", default=None,
                        help="write the labelled metrics snapshot here")
+    trace.add_argument("--shards", type=int, default=1,
+                       help="classifier/storage shards (>1 turns on the "
+                            "consistent-hash sharded lane and its "
+                            "shard.* metrics)")
     trace.add_argument("--profile", action="store_true",
                        help="also profile kernel callbacks (slower)")
     trace.add_argument("--reliable", action="store_true",

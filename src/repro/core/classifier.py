@@ -59,6 +59,13 @@ class ClassifierAgent(Agent):
         dataset_threshold: close the open dataset and notify once it holds
             this many records (None = only on flush timeout).
         flush_timeout: close a non-empty dataset after this much quiet time.
+        external_flush: when True, the classify loop blocks indefinitely on
+            its mailbox and *never* wakes just to check staleness; some
+            external watchdog (the sharded deployment uses one
+            :class:`~repro.agents.behaviours.MultiplexedTickerBehaviour`
+            for all shard classifiers) must call :meth:`_flush_if_stale`
+            periodically.  Coalescing the per-classifier wakeups this way
+            keeps idle shard lanes completely activation-free.
     """
 
     def __init__(
@@ -70,6 +77,7 @@ class ClassifierAgent(Agent):
         cluster_strategy="by-group",
         dataset_threshold=None,
         flush_timeout=5.0,
+        external_flush=False,
     ):
         super().__init__(name)
         self.store = store
@@ -87,12 +95,18 @@ class ClassifierAgent(Agent):
                 ) from None
         self.dataset_threshold = dataset_threshold
         self.flush_timeout = flush_timeout
+        self.external_flush = bool(external_flush)
         self.records_classified = 0
         self.datasets_published = 0
         self._open_dataset = None
         self._open_count = 0
         self._open_cluster_counts = {}
         self._last_arrival = 0.0
+        # True while a batch is mid-classification (blocked on cpu/disk).
+        # An external flush watchdog runs in its own process and could
+        # otherwise close the dataset the in-flight batch already chose,
+        # stranding its records in a published dataset.
+        self._classifying = False
         # last seen (time, value) per counter series, for rate derivation
         self._counter_state = {}
         # classify spans feeding the open dataset: [(trace_id, span_id)]
@@ -111,14 +125,18 @@ class ClassifierAgent(Agent):
                 message = yield from self.receive(
                     MessageTemplate(performative=Performative.INFORM,
                                     ontology="collected-batch"),
-                    timeout=agent.flush_timeout,
+                    timeout=None if agent.external_flush else agent.flush_timeout,
                 )
                 if message is None:
                     agent._flush_if_stale()
                     return
-                yield from agent._classify_batch(
-                    message.content["records"], message=message,
-                )
+                agent._classifying = True
+                try:
+                    yield from agent._classify_batch(
+                        message.content["records"], message=message,
+                    )
+                finally:
+                    agent._classifying = False
 
         self.add_behaviour(Classify("classify"))
 
@@ -212,7 +230,8 @@ class ClassifierAgent(Agent):
 
     def _flush_if_stale(self):
         if (
-            self._open_dataset is not None
+            not self._classifying
+            and self._open_dataset is not None
             and self._open_count > 0
             and self.sim.now - self._last_arrival >= self.flush_timeout
         ):

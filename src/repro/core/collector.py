@@ -42,6 +42,11 @@ class CollectorAgent(Agent):
         protocol: shipping :class:`~repro.network.protocols.ProtocolSpec`.
         poll_retries: extra SNMP attempts after a timeout before the poll
             is counted as failed (lossy links are retried, not fatal).
+        classifier_router: optional callable ``record -> classifier agent
+            name`` used by the sharded grid to route each record to its
+            shard's classifier lane; ``None`` (the default) ships every
+            record to ``classifier_name`` on the exact single-envelope
+            path the unsharded reproduction pins byte-identical.
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class CollectorAgent(Agent):
         batch_size=1,
         protocol=HTTP,
         poll_retries=2,
+        classifier_router=None,
     ):
         super().__init__(name)
         self.goals = list(goals)
@@ -65,6 +71,7 @@ class CollectorAgent(Agent):
         self.batch_size = max(1, batch_size)
         self.protocol = protocol
         self.poll_retries = max(0, poll_retries)
+        self.classifier_router = classifier_router
         self.snmp = None
         self.poll_retries_used = 0
         self.polls_completed = 0
@@ -146,47 +153,67 @@ class CollectorAgent(Agent):
             return ""
 
     def ship(self, records):
-        """Send records to the classifier in one protocol envelope."""
+        """Send records to the classifier grid in protocol envelopes.
+
+        Unsharded (no router): one envelope to ``classifier_name``.
+        Sharded: records group by the router's target and each shard's
+        records leave in their own envelope (target order sorted for
+        determinism); envelopes still ride one ``send_batch_reliable``
+        call so same-host shards share an aggregate wire transfer.
+        """
         records = [record for record in records if record is not None]
         if not records:
             return
-        payload_units = sum(record.size_units for record in records)
-        wire_units = self.protocol.size(payload_units)
-        # Batched shipping lane: envelopes shipped in the same instant to
-        # the same classifier host travel as one aggregate wire transfer.
-        # Reliable variant: with a channel installed the envelope is acked,
-        # retransmitted on loss and dead-lettered (never silently lost).
-        message = ACLMessage(
-            Performative.INFORM,
-            sender=self.name,
-            receiver=self.classifier_name,
-            content={"op": "classify-batch", "records": records},
-            ontology="collected-batch",
-            size_units=wire_units,
-        )
+        if self.classifier_router is None:
+            groups = [(self.classifier_name, records)]
+        else:
+            by_target = {}
+            for record in records:
+                by_target.setdefault(self.classifier_router(record), []).append(
+                    record)
+            groups = sorted(by_target.items())
+        messages = []
         telemetry = self.telemetry
-        if telemetry is not None:
-            # One trace per shipped batch: a closed "collect" span covering
-            # poll time, and an open "ship" span the classifier (or the
-            # dead-letter hook) will close.  The envelope names the ship
-            # span so the receiving end can pick up the chain.
-            recorder = telemetry.recorder
-            trace_id = recorder.new_trace()
-            collect = recorder.start(
-                "collect", trace_id, grid="collector", host=self.host.name,
-                agent=self.name,
-                t_start=min(record.collected_at for record in records),
-                records=len(records),
+        for target, group in groups:
+            payload_units = sum(record.size_units for record in group)
+            wire_units = self.protocol.size(payload_units)
+            # Batched shipping lane: envelopes shipped in the same instant
+            # to the same classifier host travel as one aggregate wire
+            # transfer.  Reliable variant: with a channel installed the
+            # envelope is acked, retransmitted on loss and dead-lettered
+            # (never silently lost).
+            message = ACLMessage(
+                Performative.INFORM,
+                sender=self.name,
+                receiver=target,
+                content={"op": "classify-batch", "records": group},
+                ontology="collected-batch",
+                size_units=wire_units,
             )
-            recorder.end(collect)
-            ship = recorder.start(
-                "ship", trace_id, parent=collect, grid="collector",
-                host=self.host.name, agent=self.name,
-                records=len(records), size_units=wire_units,
-            )
-            if ship is not None:
-                message.trace_context = (trace_id, ship.span_id)
-        self.send_batch_reliable([message])
+            if telemetry is not None:
+                # One trace per shipped envelope: a closed "collect" span
+                # covering poll time, and an open "ship" span the
+                # classifier (or the dead-letter hook) will close.  The
+                # envelope names the ship span so the receiving end can
+                # pick up the chain.
+                recorder = telemetry.recorder
+                trace_id = recorder.new_trace()
+                collect = recorder.start(
+                    "collect", trace_id, grid="collector", host=self.host.name,
+                    agent=self.name,
+                    t_start=min(record.collected_at for record in group),
+                    records=len(group),
+                )
+                recorder.end(collect)
+                ship = recorder.start(
+                    "ship", trace_id, parent=collect, grid="collector",
+                    host=self.host.name, agent=self.name,
+                    records=len(group), size_units=wire_units,
+                )
+                if ship is not None:
+                    message.trace_context = (trace_id, ship.span_id)
+            messages.append(message)
+        self.send_batch_reliable(messages)
         self.records_shipped += len(records)
 
     def _buffer_and_ship(self, record, force=False):

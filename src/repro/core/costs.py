@@ -22,6 +22,8 @@ sensitivity bench (X5) perturbs the estimated cells and shows the Figure 6
 ordering is unaffected.
 """
 
+from types import MappingProxyType
+
 
 class TaskKind:
     """Management task kinds (the rows of Table 1)."""
@@ -159,6 +161,13 @@ class CostModel:
             self._flat[(kind, rtype)] = entry
             if rtype is None:
                 self._flat[kind] = entry
+        # Enforce the immutability the caches above assume: runtime model
+        # changes (chaos plans, scenario overrides) must build a fresh
+        # CostModel via derive()/scaled(), never poke the table of a live
+        # one -- a poked entry would silently diverge from the cached
+        # sizes/entries resolved here.  Same contract as LinkSpec: swap
+        # the object, don't mutate it.
+        self._table = MappingProxyType(self._table)
 
     def _kind_cache(self, kind):
         return {

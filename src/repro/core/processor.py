@@ -75,6 +75,27 @@ class _DatasetState:
         self.trace = None  # (trace_id, notify span id) from the classifier
 
 
+class _ScatterRound:
+    """One scatter-gather correlation round over a sharded grid.
+
+    Datasets whose level-2 clusters all settled enroll here; the round
+    closes (and dispatches ONE cross job over all members) when every
+    shard's storage host is represented -- the fan-out barrier -- or when
+    ``scatter_window`` elapses first, whichever comes sooner.  The first
+    member is the *primary*: the cross job is dispatched against it, its
+    dataset collects the level-3 findings, and every other member
+    finalizes alongside it.
+    """
+
+    def __init__(self, round_id, opened_at):
+        self.round_id = round_id
+        self.opened_at = opened_at
+        self.members = []   # dataset ids, primary first
+        self.shards = []    # [(storage_host, dataset_id)] per member
+        self.hosts = set()  # distinct storage hosts enrolled so far
+        self.closed = False
+
+
 class ProcessorRootAgent(Agent):
     """The analysis-grid root / broker.
 
@@ -107,6 +128,14 @@ class ProcessorRootAgent(Agent):
             *other* datasets within this many seconds -- the federation
             layer uses this so network-wide incidents spanning sites (and
             hence datasets from different classifiers) can be correlated.
+        scatter_shards: number of classifier/storage shards feeding this
+            root.  At 1 (default) level-3 correlation runs per dataset on
+            the historical path; above 1 the root gathers one finished
+            dataset per shard into a :class:`_ScatterRound` and dispatches
+            a single scatter-gather cross job over all of them.
+        scatter_window: barrier timeout -- a round whose shards have not
+            all reported within this many seconds dispatches over the
+            members it has (a quiet shard must not stall correlation).
     """
 
     _job_ids = itertools.count(1)
@@ -125,6 +154,8 @@ class ProcessorRootAgent(Agent):
         max_attempts=6,
         cross_window=0.0,
         heartbeat_timeout=None,
+        scatter_shards=1,
+        scatter_window=10.0,
     ):
         super().__init__(name)
         self.storage_agent_name = storage_agent_name
@@ -142,6 +173,18 @@ class ProcessorRootAgent(Agent):
         #: job outright (e.g. every analyzer in the grid is gone).
         self.placement_patience = 120.0
         self.cross_window = cross_window
+        if scatter_shards < 1:
+            raise ValueError("scatter_shards must be >= 1")
+        if scatter_window <= 0:
+            raise ValueError("scatter_window must be positive")
+        self.scatter_shards = scatter_shards
+        self.scatter_window = scatter_window
+        self._scatter_round = None       # the currently-open round
+        self._scatter_by_dataset = {}    # primary dataset id -> round
+        self._scatter_round_ids = itertools.count(1)
+        self.scatter_rounds = 0
+        self.scatter_fanout_total = 0
+        self.last_scatter_fanout = 0
         self._recent_problems = []  # [(time, problem_dict)] across datasets
         self._analyzer_agent_by_container = {}
         self._outstanding_by_container = {}
@@ -355,15 +398,28 @@ class ProcessorRootAgent(Agent):
                     continue
                 container_name = chosen.container_name
         agent_name = self._analyzer_agent_by_container[container_name]
-        job_content = ANALYSIS_JOB.make(
+        scatter = (
+            self._scatter_by_dataset.get(dataset_id) if level >= 3 else None
+        )
+        content_kwargs = dict(
             job_id=job_id,
             dataset=dataset_id,
             cluster=cluster,
             record_count=record_count,
             level=level,
             storage_host=state.storage_host,
-            problems=self._cross_problems(state) if level >= 3 else [],
+            problems=(
+                self._scatter_problems(scatter) if scatter is not None
+                else self._cross_problems(state) if level >= 3 else []
+            ),
         )
+        if scatter is not None:
+            # Scatter-gather: the job names every shard's (host, dataset)
+            # so the analyzer fetches all of them before correlating.  The
+            # round stays registered until _finalize_cross, so a Reaper
+            # re-dispatch rebuilds the same merged view.
+            content_kwargs["shards"] = [list(pair) for pair in scatter.shards]
+        job_content = ANALYSIS_JOB.make(**content_kwargs)
         # Deadline = estimated service time on the chosen container plus a
         # grace that doubles per attempt; a busy queue is not a dead host.
         chosen_container = self.platform.containers.get(container_name)
@@ -421,7 +477,7 @@ class ProcessorRootAgent(Agent):
         state.findings.extend(content["findings"])
         state.records_analyzed += content["records_analyzed"]
         if job.level >= 3:
-            yield from self._finalize_dataset(state)
+            yield from self._finalize_cross(state)
             return
         yield from self._cluster_done(state, job.cluster)
 
@@ -432,11 +488,97 @@ class ProcessorRootAgent(Agent):
             return
         if self.enable_cross:
             state.cross_dispatched = True
-            yield from self._dispatch_job(
-                state.dataset_id, CROSS_CLUSTER, record_count=1, level=3,
-            )
+            if self.scatter_shards > 1:
+                yield from self._enroll_scatter(state)
+            else:
+                yield from self._dispatch_job(
+                    state.dataset_id, CROSS_CLUSTER, record_count=1, level=3,
+                )
         else:
             yield from self._finalize_dataset(state)
+
+    # -- scatter-gather correlation (sharded grid) --------------------------
+
+    def _enroll_scatter(self, state):
+        """Add a level-2-complete dataset to the open scatter round.
+
+        The round dispatches as soon as every shard's storage host is
+        represented (the bounded fan-out barrier); a window timer backs
+        the barrier so one quiet shard cannot stall correlation forever.
+        """
+        round_ = self._scatter_round
+        if round_ is None or round_.closed:
+            round_ = _ScatterRound(
+                next(self._scatter_round_ids), opened_at=self.sim.now,
+            )
+            self._scatter_round = round_
+            self.sim.schedule(
+                self.scatter_window, self._scatter_window_expired, (round_,),
+            )
+        round_.members.append(state.dataset_id)
+        round_.shards.append((state.storage_host, state.dataset_id))
+        round_.hosts.add(state.storage_host)
+        if len(round_.hosts) >= self.scatter_shards:
+            yield from self._dispatch_scatter(round_)
+
+    def _scatter_window_expired(self, round_):
+        """Barrier timeout (kernel callback): dispatch a partial round."""
+        if round_.closed:
+            return  # barrier won: the round already dispatched
+        self.sim.spawn(
+            self._dispatch_scatter(round_),
+            name="%s/scatter-%d" % (self.name, round_.round_id),
+        )
+
+    def _dispatch_scatter(self, round_):
+        """Close a round and dispatch ONE cross job over all its members."""
+        if round_.closed:
+            return
+        round_.closed = True
+        if self._scatter_round is round_:
+            self._scatter_round = None
+        primary = round_.members[0]
+        self._scatter_by_dataset[primary] = round_
+        self.scatter_rounds += 1
+        self.scatter_fanout_total += len(round_.hosts)
+        self.last_scatter_fanout = len(round_.hosts)
+        yield from self._dispatch_job(
+            primary, CROSS_CLUSTER, record_count=1, level=3,
+        )
+
+    def _scatter_problems(self, round_):
+        """Merged, deduplicated level-1/2 problems across round members."""
+        problems = []
+        seen = set()
+        for dataset_id in round_.members:
+            member = self.datasets.get(dataset_id)
+            if member is None:
+                continue
+            for finding in member.findings:
+                problem = _finding_to_problem_dict(finding)
+                key = tuple(sorted(problem.items()))
+                if key not in seen:
+                    seen.add(key)
+                    problems.append(problem)
+        return problems
+
+    def _finalize_cross(self, state):
+        """Finalize after level-3 settles (result OR abandonment).
+
+        On the scatter path every round member finalizes together -- the
+        primary carries the cross findings, the other members report their
+        own level-2 results; leaving them open would strand their reports
+        (and their ``records_analyzed`` accounting) forever.  Unsharded,
+        this is exactly the historical single-dataset finalize.
+        """
+        round_ = self._scatter_by_dataset.pop(state.dataset_id, None)
+        yield from self._finalize_dataset(state)
+        if round_ is None:
+            return
+        for dataset_id in round_.members:
+            member = self.datasets.get(dataset_id)
+            if member is not None and not member.finished:
+                yield from self._finalize_dataset(member)
 
     def _finalize_dataset(self, state):
         state.finished = True
@@ -533,7 +675,7 @@ class ProcessorRootAgent(Agent):
             level=level,
         ))
         if level >= 3:
-            yield from self._finalize_dataset(state)
+            yield from self._finalize_cross(state)
         else:
             yield from self._cluster_done(state, cluster)
 
@@ -679,16 +821,21 @@ class AnalyzerAgent(Agent):
         fetch_retries: extra QUERY_REF attempts after a timed-out fetch
             before the job proceeds with whatever it has (0 = old
             single-shot behaviour).
+        scatter_fanout: max concurrent shard fetches while gathering a
+            scatter-gather cross job's summaries (the bounded fan-out:
+            shards are fetched in waves of this size).
     """
 
     def __init__(self, name, root_name, knowledge_base, cost_model=None,
                  register_on_start=True, heartbeat_interval=None,
-                 fetch_timeout=60.0, fetch_retries=0):
+                 fetch_timeout=60.0, fetch_retries=0, scatter_fanout=4):
         super().__init__(name)
         if fetch_timeout <= 0:
             raise ValueError("fetch_timeout must be positive")
         if fetch_retries < 0:
             raise ValueError("fetch_retries must be >= 0")
+        if scatter_fanout < 1:
+            raise ValueError("scatter_fanout must be >= 1")
         self.root_name = root_name
         self.knowledge_base = knowledge_base
         self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
@@ -696,6 +843,7 @@ class AnalyzerAgent(Agent):
         self.heartbeat_interval = heartbeat_interval
         self.fetch_timeout = fetch_timeout
         self.fetch_retries = int(fetch_retries)
+        self.scatter_fanout = int(scatter_fanout)
         self.responder = None
         self.jobs_completed = 0
         self.records_analyzed = 0
@@ -821,7 +969,7 @@ class AnalyzerAgent(Agent):
             )
 
     def _fetch(self, storage_query, size_units, conversation_tag,
-               reply_units=0.0):
+               reply_units=0.0, storage_agent=None):
         """QUERY_REF to the storage agent; returns the INFORM content.
 
         Bounded retry loop: each attempt rides the reliable channel (plain
@@ -832,11 +980,17 @@ class AnalyzerAgent(Agent):
         same conversation id, so a late reply to an *earlier* attempt
         still completes the fetch; a false retry degrades to extra
         traffic, never to data loss.
+
+        ``storage_agent`` overrides the job's storage agent; concurrent
+        scatter fetches pass it explicitly (each with its own
+        conversation tag) instead of sharing the per-job instance state.
         """
         conversation = "%s-%s" % (conversation_tag, self.name)
         template = MessageTemplate(conversation_id=conversation)
         patience = self.fetch_timeout + 2.0 * (
             size_units + reply_units) / self.host.nic.capacity
+        if storage_agent is None:
+            storage_agent = self._storage_agent_name()
         reply = None
         for attempt in range(1 + self.fetch_retries):
             if attempt:
@@ -845,7 +999,7 @@ class AnalyzerAgent(Agent):
             self.send_reliable(ACLMessage(
                 Performative.QUERY_REF,
                 sender=self.name,
-                receiver=self._storage_agent_name(),
+                receiver=storage_agent,
                 content=storage_query,
                 conversation_id=conversation,
                 size_units=size_units,
@@ -907,12 +1061,16 @@ class AnalyzerAgent(Agent):
 
     def _run_cross_job(self, content):
         self._current_storage_agent = "storage@" + content["storage_host"]
-        yield from self._fetch(
-            {"op": "fetch-summary", "dataset": content["dataset"]},
-            size_units=self.cost_model.cross_query_size,
-            conversation_tag=content["job_id"],
-            reply_units=self.cost_model.cross_reply_size,
-        )
+        shards = content.get("shards") or ()
+        if shards:
+            yield from self._scatter_summaries(content, shards)
+        else:
+            yield from self._fetch(
+                {"op": "fetch-summary", "dataset": content["dataset"]},
+                size_units=self.cost_model.cross_query_size,
+                conversation_tag=content["job_id"],
+                reply_units=self.cost_model.cross_reply_size,
+            )
         cross_cost = self.cost_model.cross_cost()
         if cross_cost.cpu:
             yield self.cpu.use(cross_cost.cpu, label=TaskKind.INFER_CROSS)
@@ -928,6 +1086,33 @@ class AnalyzerAgent(Agent):
             for fact in memory.facts("incident")
         ]
         return findings, 0
+
+    def _scatter_summaries(self, content, shards):
+        """Gather every shard's dataset summary, bounded-fan-out.
+
+        Shards are fetched in waves of ``scatter_fanout`` concurrent
+        fetches (each a spawned process with its own conversation id, so
+        replies cannot cross wires); a wave must settle before the next
+        starts, bounding both the NIC burst and the storage-grid load.
+        """
+        fanout = self.scatter_fanout
+        for start in range(0, len(shards), fanout):
+            wave = shards[start:start + fanout]
+            processes = []
+            for offset, (storage_host, dataset_id) in enumerate(wave):
+                processes.append(self.sim.spawn(
+                    self._fetch(
+                        {"op": "fetch-summary", "dataset": dataset_id},
+                        size_units=self.cost_model.cross_query_size,
+                        conversation_tag="%s-s%d" % (
+                            content["job_id"], start + offset),
+                        reply_units=self.cost_model.cross_reply_size,
+                        storage_agent="storage@" + storage_host,
+                    ),
+                    name="%s/scatter-fetch" % self.name,
+                ))
+            for process in processes:
+                yield process
 
     def _learn_rule(self, message):
         """Install a rule shipped as a declarative spec (data, not code)."""

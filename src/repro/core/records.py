@@ -149,6 +149,15 @@ class ManagementRecord:
         )
         return record
 
+    def shard_key(self):
+        """The key the sharded classifier/storage grid partitions on.
+
+        Records shard by *device* so one shard owns every record (and the
+        whole metric history) of a device -- level-2 consolidation stays
+        shard-local and rebalance moves whole devices.
+        """
+        return self.device
+
     def to_facts(self):
         return [sample.to_fact() for sample in self.samples]
 

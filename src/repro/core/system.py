@@ -16,6 +16,7 @@ from repro.core.interface import InterfaceAgent
 from repro.core.loadbalance import make_policy
 from repro.core.processor import AnalyzerAgent, ProcessorRootAgent
 from repro.core.records import CollectionGoal
+from repro.core.sharding import moved_keys as _moved_keys
 from repro.core.storage import ManagementDataStore, StorageAgent
 from repro.network.topology import Network
 from repro.network.transport import Transport
@@ -97,6 +98,26 @@ class GridTopologySpec:
             registry); a dict supplies its keyword arguments
             (``capacity``, ``profile``).  Telemetry is passive -- the
             simulation's behaviour and outputs are identical either way.
+        shards: number of classifier/storage shards.  1 (default) is the
+            paper reproduction, byte-identical to the unsharded code
+            path.  Above 1, the grid partitions by consistent hash of
+            the device key (see :mod:`repro.core.sharding`): shard 0
+            keeps ``storage_host`` and the historical component names,
+            every further shard gets a derived host
+            (``<storage_host>-s<i>``) with its own storage/classifier
+            lane, collectors route each record to its owner shard,
+            level-2 analysis is shard-local and level-3 correlation
+            scatter-gathers across shards.
+        shard_vnodes: virtual nodes per shard on the hash ring.
+        scatter_window: barrier timeout for gathering one finished
+            dataset per shard before the cross job dispatches anyway.
+        scatter_fanout: max concurrent per-shard summary fetches inside
+            one scatter-gather cross job.
+        lazy_devices: ``None`` (default) resolves to ``shards > 1``:
+            sharded big-topology runs replay device dynamics on demand
+            (zero kernel events for idle devices) while the unsharded
+            reproduction keeps the eager per-device processes.  Pass
+            True/False to force either mode.
     """
 
     def __init__(
@@ -124,6 +145,11 @@ class GridTopologySpec:
         heartbeat_interval=None,
         heartbeat_timeout=None,
         telemetry=False,
+        shards=1,
+        shard_vnodes=64,
+        scatter_window=10.0,
+        scatter_fanout=4,
+        lazy_devices=None,
     ):
         if not devices:
             raise ValueError("at least one device is required")
@@ -180,6 +206,21 @@ class GridTopologySpec:
             heartbeat_timeout = 4.0 * heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.telemetry = telemetry
+        if int(shards) != shards or shards < 1:
+            raise ValueError("shards must be a positive integer")
+        if shard_vnodes < 1:
+            raise ValueError("shard_vnodes must be >= 1")
+        if scatter_window <= 0:
+            raise ValueError("scatter_window must be positive")
+        if scatter_fanout < 1:
+            raise ValueError("scatter_fanout must be >= 1")
+        self.shards = int(shards)
+        self.shard_vnodes = int(shard_vnodes)
+        self.scatter_window = scatter_window
+        self.scatter_fanout = int(scatter_fanout)
+        self.lazy_devices = (
+            self.shards > 1 if lazy_devices is None else bool(lazy_devices)
+        )
 
     @classmethod
     def paper_figure6c(cls, seed=0, **overrides):
@@ -253,6 +294,8 @@ class GridManagementSystem:
         self.device_engines = {}
         self.collectors = []
         self.analyzers = []
+        self.rebalances = 0
+        self.records_rebalanced = 0
         self._build_devices()
         self._build_storage_and_classifier()
         self._build_interface()
@@ -271,6 +314,7 @@ class GridManagementSystem:
             device = ManagedDevice(
                 self.sim, host, profile=device_spec.profile,
                 tick=self.spec.device_tick,
+                lazy=self.spec.lazy_devices,
             )
             self.devices[device_spec.name] = device
             self.device_engines[device_spec.name] = SnmpEngine(
@@ -297,23 +341,85 @@ class GridManagementSystem:
             net_capacity=host_spec.net_capacity,
         )
 
-    def _build_storage_and_classifier(self):
-        host = self._add_management_host(self.spec.storage_host, "storage")
-        self.storage_container = self.platform.create_container(
-            "storage-container", host, services=("storage", "classification"),
+    def _shard_host_spec(self, index):
+        """Shard 0 is the spec's storage host; others derive from it."""
+        base = self.spec.storage_host
+        if index == 0:
+            return base
+        return HostSpec(
+            "%s-s%d" % (base.name, index), site=base.site,
+            cpu_capacity=base.cpu_capacity, disk_capacity=base.disk_capacity,
+            net_capacity=base.net_capacity, knowledge=base.knowledge,
         )
-        self.store = ManagementDataStore(host, self.cost_model)
-        self.storage_agent = StorageAgent("storage@" + host.name, self.store)
-        self.storage_container.deploy(self.storage_agent)
-        self.classifier = ClassifierAgent(
-            "classifier",
-            store=self.store,
+
+    def _build_shard(self, index, host_spec):
+        """Build one classifier/storage lane (container + store + agents)."""
+        host = self._add_management_host(host_spec, "storage")
+        container_name = (
+            "storage-container" if index == 0 else "storage-container-s%d" % index
+        )
+        container = self.platform.create_container(
+            container_name, host, services=("storage", "classification"),
+        )
+        store = ManagementDataStore(host, self.cost_model)
+        storage_agent = StorageAgent("storage@" + host.name, store)
+        container.deploy(storage_agent)
+        classifier = ClassifierAgent(
+            "classifier" if index == 0 else "classifier-s%d" % index,
+            store=store,
             processor_name="pg-root",
             cost_model=self.cost_model,
             cluster_strategy=self.spec.cluster_strategy,
             dataset_threshold=self.spec.dataset_threshold,
+            external_flush=self.spec.shards > 1,
         )
-        self.storage_container.deploy(self.classifier)
+        container.deploy(classifier)
+        self.shard_hosts.append(host)
+        self.storage_containers.append(container)
+        self.stores.append(store)
+        self.storage_agents.append(storage_agent)
+        self.classifiers.append(classifier)
+        self._store_by_host[host.name] = store
+        self._storage_agent_by_host[host.name] = storage_agent
+        self._classifier_by_host[host.name] = classifier.name
+        return host, container, store, storage_agent, classifier
+
+    def _build_storage_and_classifier(self):
+        self.shard_hosts = []
+        self.storage_containers = []
+        self.stores = []
+        self.storage_agents = []
+        self.classifiers = []
+        self._store_by_host = {}
+        self._storage_agent_by_host = {}
+        self._classifier_by_host = {}
+        for index in range(self.spec.shards):
+            self._build_shard(index, self._shard_host_spec(index))
+        # Shard-0 aliases keep the historical single-lane API (and every
+        # test/example written against it) working unchanged.
+        self.storage_container = self.storage_containers[0]
+        self.store = self.stores[0]
+        self.storage_agent = self.storage_agents[0]
+        self.classifier = self.classifiers[0]
+        self.ring = None
+        self._flush_mux = None
+        if self.spec.shards > 1:
+            from repro.agents.behaviours import MultiplexedTickerBehaviour
+            from repro.core.sharding import HashRing
+
+            self.ring = HashRing(
+                (host.name for host in self.shard_hosts),
+                vnodes=self.spec.shard_vnodes,
+            )
+            # One coalesced watchdog flushes every shard classifier's
+            # stale dataset: N shards cost one timer event per period
+            # instead of N mailbox-timeout wakeups.
+            self._flush_mux = MultiplexedTickerBehaviour(
+                period=self.classifier.flush_timeout, name="shard-flush",
+            )
+            for classifier in self.classifiers:
+                self._flush_mux.add_callback(classifier._flush_if_stale)
+            self.classifier.add_behaviour(self._flush_mux)
 
     def _build_interface(self):
         host = self._add_management_host(self.spec.interface_host, "interface")
@@ -334,6 +440,8 @@ class GridManagementSystem:
             job_timeout=self.spec.job_timeout,
             enable_cross=self.spec.enable_cross,
             heartbeat_timeout=self.spec.heartbeat_timeout,
+            scatter_shards=self.spec.shards,
+            scatter_window=self.spec.scatter_window,
         )
         self.storage_container.deploy(self.root)
         self.analysis_containers = []
@@ -352,15 +460,33 @@ class GridManagementSystem:
                 heartbeat_interval=self.spec.heartbeat_interval,
                 fetch_timeout=self.spec.fetch_timeout,
                 fetch_retries=self.spec.fetch_retries,
+                scatter_fanout=self.spec.scatter_fanout,
             )
             container.deploy(analyzer)
             self.analyzers.append(analyzer)
+
+    def _classifier_router(self):
+        """Record -> shard classifier routing closure (None unsharded).
+
+        Reads the *live* ring on every lookup, so shard join/leave
+        reroutes new records without touching the collectors.
+        """
+        if self.ring is None:
+            return None
+        ring = self.ring
+        classifier_by_host = self._classifier_by_host
+
+        def route(record):
+            return classifier_by_host[ring.lookup(record.shard_key())]
+
+        return route
 
     def _build_collector_grid(self):
         device_specs = {
             name: (device.profile.interface_count, device.profile.process_slots)
             for name, device in self.devices.items()
         }
+        classifier_router = self._classifier_router()
         self.collector_containers = []
         for index, host_spec in enumerate(self.spec.collector_hosts):
             host = self._add_management_host(host_spec, "collector")
@@ -376,6 +502,7 @@ class GridManagementSystem:
                 parse_locally=self.spec.collector_parse_locally,
                 device_specs=device_specs,
                 protocol=self.spec.shipping_protocol,
+                classifier_router=classifier_router,
             )
             container.deploy(collector)
             self.collectors.append(collector)
@@ -440,17 +567,17 @@ class GridManagementSystem:
                 grid="collector", host=collector.host.name,
                 agent=collector.name,
             )
-        classifier = self.classifier
-        telemetry.register_source(
-            lambda: {
-                "records_classified": classifier.records_classified,
-                "datasets_published": classifier.datasets_published,
-                "messages_sent": classifier.messages_sent,
-                "messages_received": classifier.messages_received,
-            },
-            grid="classifier", host=classifier.host.name,
-            agent=classifier.name,
-        )
+        for classifier in self.classifiers:
+            telemetry.register_source(
+                lambda c=classifier: {
+                    "records_classified": c.records_classified,
+                    "datasets_published": c.datasets_published,
+                    "messages_sent": c.messages_sent,
+                    "messages_received": c.messages_received,
+                },
+                grid="classifier", host=classifier.host.name,
+                agent=classifier.name,
+            )
         root = self.root
         telemetry.register_source(
             lambda: {
@@ -487,6 +614,29 @@ class GridManagementSystem:
             grid="interface", host=interface.host.name,
             agent=interface.name,
         )
+        if self.ring is not None:
+            registry = telemetry.registry
+            system = self
+
+            def _shard_metrics():
+                # Supplier with a side effect: refresh the per-shard
+                # labelled gauges at snapshot time, then report the
+                # scalar shard health counters as its own source dict.
+                for index, store in enumerate(system.stores):
+                    registry.gauge(
+                        "shard.records", {"shard": str(index)},
+                    ).set(store.records_stored)
+                registry.gauge("shard.scatter_fanout").set(
+                    system.root.last_scatter_fanout)
+                return {
+                    "shards": len(system.ring),
+                    "scatter_rounds": system.root.scatter_rounds,
+                    "scatter_fanout_total": system.root.scatter_fanout_total,
+                    "rebalances": system.rebalances,
+                    "records_rebalanced": system.records_rebalanced,
+                }
+
+            telemetry.register_source(_shard_metrics, grid="storage")
         telemetry.register_source(self.platform.stats, grid="platform")
         telemetry.register_source(self.transport.stats, grid="network")
         if self.reliable_channel is not None:
@@ -494,6 +644,91 @@ class GridManagementSystem:
                 self.reliable_channel.stats, grid="network",
                 agent="reliable-channel",
             )
+
+    # -- shard membership (sharded deployments only) -----------------------
+
+    def add_storage_shard(self, host_spec=None):
+        """Join a new shard: build its lane, extend the ring, rebalance.
+
+        Minimal-remap rebalance: ownership is snapshotted over every
+        device before and after the ring change and only the devices
+        whose owner changed migrate (about ``1/n`` of them).  New records
+        route to the new shard immediately (the collectors' router reads
+        the live ring); existing records transfer in the background via
+        the copy -> CONFIRM -> drop protocol, so an interrupted transfer
+        leaves the source copy authoritative -- never a silent loss.
+
+        Returns the new shard's classifier/storage lane as a
+        ``(host, storage_agent, classifier)`` tuple.
+        """
+        if self.ring is None:
+            raise RuntimeError(
+                "sharding is off (spec.shards == 1); build with shards >= 2 "
+                "before growing the ring")
+        index = len(self.shard_hosts)
+        if host_spec is None:
+            host_spec = self._shard_host_spec(index)
+        device_names = sorted(self.devices)
+        before = self.ring.owners(device_names)
+        host, _, _, storage_agent, classifier = self._build_shard(
+            index, host_spec)
+        self.ring.add_node(host.name)
+        self._flush_mux.add_callback(classifier._flush_if_stale)
+        # The level-3 barrier now waits for the new shard's datasets too.
+        self.root.scatter_shards += 1
+        after = self.ring.owners(device_names)
+        self._start_rebalance(_moved_keys(before, after))
+        return host, storage_agent, classifier
+
+    def remove_storage_shard(self, host_name):
+        """Gracefully leave the ring: reroute new records, migrate out.
+
+        The lane's container and agents stay alive to drain -- in-flight
+        batches still classify and its datasets still serve fetches --
+        but the router stops sending it new records and the rebalance
+        migrates its owned devices to their new ring owners.
+        """
+        if self.ring is None:
+            raise RuntimeError("sharding is off (spec.shards == 1)")
+        if host_name not in self.ring:
+            raise ValueError("host %r is not a shard" % host_name)
+        if len(self.ring) <= 1:
+            raise ValueError("cannot remove the last shard")
+        device_names = sorted(self.devices)
+        before = self.ring.owners(device_names)
+        self.ring.remove_node(host_name)
+        self.root.scatter_shards = max(1, self.root.scatter_shards - 1)
+        after = self.ring.owners(device_names)
+        self._start_rebalance(_moved_keys(before, after))
+
+    def _start_rebalance(self, moved):
+        if moved:
+            self.sim.spawn(self._rebalance(moved), name="shard-rebalance")
+
+    def _rebalance(self, moved):
+        """Transfer moved devices' records shard-to-shard (process).
+
+        Transfers group by (source, destination) pair so each pair moves
+        in one reliable REQUEST; every batch follows the storage agents'
+        copy -> CONFIRM -> drop protocol (see
+        :meth:`repro.core.storage.StorageAgent.migrate_devices`).
+        """
+        transfers = {}
+        for device, (old_owner, new_owner) in sorted(moved.items()):
+            transfers.setdefault((old_owner, new_owner), []).append(device)
+        total = 0
+        for (old_owner, new_owner), device_names in sorted(transfers.items()):
+            source = self._storage_agent_by_host.get(old_owner)
+            target = self._storage_agent_by_host.get(new_owner)
+            if source is None or target is None:
+                continue
+            total += yield from source.migrate_devices(
+                device_names, target.name)
+        self.rebalances += 1
+        self.records_rebalanced += total
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("shard.rebalanced").inc(
+                max(0, total))
 
     # -- goal assignment -------------------------------------------------------
 

@@ -29,9 +29,21 @@ class LinkSpec:
             raise ValueError("bandwidth must be > 0")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be within [0, 1)")
-        self.latency = float(latency)
-        self.bandwidth = float(bandwidth)
-        self.loss_rate = float(loss_rate)
+        object.__setattr__(self, "latency", float(latency))
+        object.__setattr__(self, "bandwidth", float(bandwidth))
+        object.__setattr__(self, "loss_rate", float(loss_rate))
+
+    def __setattr__(self, name, value):
+        # Frozen by contract: the default LAN/WAN specs are shared
+        # module-level singletons referenced by every run, and in-flight
+        # batches hold a reference to the spec they launched under.  Fault
+        # injection (``link_loss_burst``) must *replace* the spec on the
+        # Network/Site, never mutate one -- mutation would silently change
+        # in-flight traffic and leak the burst into later runs.
+        raise AttributeError(
+            "LinkSpec is immutable; build a new LinkSpec and install it "
+            "(cannot set %r)" % name
+        )
 
     def transit_time(self, size_units):
         """Propagation + serialization delay for a payload."""

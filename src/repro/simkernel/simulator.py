@@ -358,6 +358,28 @@ class Simulator:
         if profiler is not None:
             from time import perf_counter
             account = profiler.account
+        elif until is not None and max_events is None:
+            # Until-only loop: no event counter, no per-event bound-mode
+            # branches.  ``run_until_records`` drives the big-topology
+            # benches through repeated bounded slices, so at devices=5000
+            # this loop executes every kernel event of the run.
+            peek = queue.peek_time
+            while True:
+                next_time = peek()
+                if next_time is None:
+                    break
+                if next_time > until:
+                    self.now = until
+                    break
+                event = pop()
+                if event.time < self.now - 1e-12:
+                    raise SimulationError("time went backwards")
+                self.now = event.time
+                if hooks:
+                    for hook in hooks:
+                        hook(self.now, event)
+                event.callback(*event.args)
+            return self.now
         while True:
             if bounded:
                 if until is not None:

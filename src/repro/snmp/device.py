@@ -90,18 +90,28 @@ class ManagedDevice:
             simulated resources).
         profile: a :class:`DeviceProfile` or profile name.
         tick: seconds between dynamics updates.
+        lazy: when True, no background dynamics process is spawned; the
+            device replays its missed ticks on demand (:meth:`catch_up`,
+            called by the SNMP engine before every read and by fault
+            injection).  Values are identical to eager mode -- each tick
+            draws from the device's own RNG stream in tick order -- but an
+            idle device costs *zero* kernel events.  This is the
+            big-topology win: at ``devices=5000, tick=1`` eager dynamics
+            alone schedule 5000 events per simulated second.
     """
 
-    def __init__(self, sim, host, profile="server", tick=1.0):
+    def __init__(self, sim, host, profile="server", tick=1.0, lazy=False):
         if isinstance(profile, str):
             profile = PROFILES[profile]
         self.sim = sim
         self.host = host
         self.profile = profile
         self.tick = tick
+        self.lazy = lazy
         self.rng = sim.rng("device/" + host.name)
         self.faults = _Faults()
         self.started_at = sim.now
+        self._ticks_done = 0
 
         # Live state
         self.cpu_load = profile.cpu_mean
@@ -116,14 +126,29 @@ class ManagedDevice:
             for index in range(profile.process_slots)
         ]
 
-        self.mib = MibTree()
-        self._populate_mib()
-        self._dynamics = sim.spawn(self._run_dynamics(), name="dyn:" + host.name)
+        if lazy:
+            # MIB built on first read; dynamics replayed on demand.
+            self._mib = None
+            self._dynamics = None
+        else:
+            self._mib = MibTree()
+            self._populate_mib()
+            self._dynamics = sim.spawn(
+                self._run_dynamics(), name="dyn:" + host.name,
+            )
 
     # -- MIB ---------------------------------------------------------------
 
+    @property
+    def mib(self):
+        mib = self._mib
+        if mib is None:
+            mib = self._mib = MibTree()
+            self._populate_mib()
+        return mib
+
     def _populate_mib(self):
-        mib = self.mib
+        mib = self._mib
         mib.register_scalar(
             std.SYS_DESCR, "sysDescr",
             "repro %s device" % self.profile.name,
@@ -185,45 +210,65 @@ class ManagedDevice:
     def _run_dynamics(self):
         while True:
             yield self.tick
-            # Re-read the profile each tick: scenarios may swap it at
-            # runtime (e.g. rerouted traffic multiplying the rate).
-            profile = self.profile
-            if self.faults.cpu_runaway:
-                self.cpu_load = self.rng.bounded_gauss(97.0, 2.0, 90.0, 100.0)
-            else:
-                self.cpu_load = self.rng.bounded_gauss(
-                    profile.cpu_mean, profile.cpu_sigma, 0.0, 100.0
-                )
-            self.load_avg = max(0.0, self.cpu_load / 25.0 + self.rng.gauss(0, 0.1))
-            if self.faults.memory_leak:
-                self.mem_available_kb = max(
-                    0, int(self.mem_available_kb - profile.mem_total_kb * 0.02)
-                )
-            else:
-                self.mem_available_kb = int(self.rng.bounded_gauss(
-                    profile.mem_total_kb * 0.6,
-                    profile.mem_total_kb * 0.1,
-                    profile.mem_total_kb * 0.2,
-                    profile.mem_total_kb * 0.95,
-                ))
-            if self.faults.disk_filling:
-                self.disk_free_kb = max(
-                    0, int(self.disk_free_kb - profile.disk_total_kb * 0.03)
-                )
-            self.proc_count = max(
-                1, int(self.proc_count + self.rng.randint(-3, 3))
+            self._advance()
+
+    def catch_up(self):
+        """Replay every tick a lazy device has missed up to ``sim.now``.
+
+        Deterministically equivalent to eager dynamics: the same number of
+        ticks have elapsed by any given time, each consuming the same
+        draws from the device's private RNG stream in the same order, so a
+        read observes identical values either way.  No-op on eager
+        devices (their background process already did the work).
+        """
+        if self._dynamics is not None:
+            return
+        target = int((self.sim.now - self.started_at) / self.tick)
+        while self._ticks_done < target:
+            self._advance()
+
+    def _advance(self):
+        """One dynamics tick (shared by the eager loop and lazy replay)."""
+        self._ticks_done += 1
+        # Re-read the profile each tick: scenarios may swap it at
+        # runtime (e.g. rerouted traffic multiplying the rate).
+        profile = self.profile
+        if self.faults.cpu_runaway:
+            self.cpu_load = self.rng.bounded_gauss(97.0, 2.0, 90.0, 100.0)
+        else:
+            self.cpu_load = self.rng.bounded_gauss(
+                profile.cpu_mean, profile.cpu_sigma, 0.0, 100.0
             )
-            for index in range(profile.interface_count):
-                if index in self.faults.down_interfaces:
-                    continue
-                delta = self.rng.bounded_gauss(
-                    profile.traffic_rate * self.tick,
-                    profile.traffic_rate * self.tick * 0.3,
-                    0.0,
-                    profile.traffic_rate * self.tick * 3.0,
-                )
-                self.if_in_octets[index] += int(delta)
-                self.if_out_octets[index] += int(delta * self.rng.uniform(0.5, 1.0))
+        self.load_avg = max(0.0, self.cpu_load / 25.0 + self.rng.gauss(0, 0.1))
+        if self.faults.memory_leak:
+            self.mem_available_kb = max(
+                0, int(self.mem_available_kb - profile.mem_total_kb * 0.02)
+            )
+        else:
+            self.mem_available_kb = int(self.rng.bounded_gauss(
+                profile.mem_total_kb * 0.6,
+                profile.mem_total_kb * 0.1,
+                profile.mem_total_kb * 0.2,
+                profile.mem_total_kb * 0.95,
+            ))
+        if self.faults.disk_filling:
+            self.disk_free_kb = max(
+                0, int(self.disk_free_kb - profile.disk_total_kb * 0.03)
+            )
+        self.proc_count = max(
+            1, int(self.proc_count + self.rng.randint(-3, 3))
+        )
+        for index in range(profile.interface_count):
+            if index in self.faults.down_interfaces:
+                continue
+            delta = self.rng.bounded_gauss(
+                profile.traffic_rate * self.tick,
+                profile.traffic_rate * self.tick * 0.3,
+                0.0,
+                profile.traffic_rate * self.tick * 3.0,
+            )
+            self.if_in_octets[index] += int(delta)
+            self.if_out_octets[index] += int(delta * self.rng.uniform(0.5, 1.0))
 
     # -- fault injection -------------------------------------------------
 
@@ -233,6 +278,7 @@ class ManagedDevice:
         ``kind`` is one of ``"cpu_runaway"``, ``"memory_leak"``,
         ``"disk_filling"``, ``"interface_down"`` (needs ``interface``).
         """
+        self.catch_up()  # regime switches apply from a caught-up state
         if kind == "cpu_runaway":
             self.faults.cpu_runaway = True
         elif kind == "memory_leak":
@@ -250,6 +296,7 @@ class ManagedDevice:
 
     def clear_fault(self, kind, interface=None):
         """Return a metric to its healthy regime."""
+        self.catch_up()
         if kind == "cpu_runaway":
             self.faults.cpu_runaway = False
         elif kind == "memory_leak":
@@ -265,7 +312,8 @@ class ManagedDevice:
 
     def stop(self):
         """Halt the background dynamics process (lets ``sim.run()`` drain)."""
-        self._dynamics.kill()
+        if self._dynamics is not None:
+            self._dynamics.kill()
 
     @property
     def name(self):

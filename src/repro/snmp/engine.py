@@ -139,6 +139,9 @@ class SnmpEngine:
     def _handle(self, request):
         cpu_units = self.cpu_cost_per_varbind * max(1, len(request.varbinds))
         yield self.device.host.cpu.use(cpu_units, label="snmp-agent")
+        # Lazy devices replay missed dynamics ticks before the read so
+        # the response sees exactly the values an eager device would hold.
+        self.device.catch_up()
         varbinds = self._evaluate(request)
         self.pdus_handled += 1
         size = request.response_size_units

@@ -89,6 +89,23 @@ class TestCostModel:
         with pytest.raises(ValueError):
             TaskCost(cpu=1).scaled(-1)
 
+    def test_table_is_immutable_after_construction(self):
+        # The per-kind caches are resolved once in __init__; a poked
+        # table entry would silently diverge from them, so the table
+        # rejects writes.  Runtime variants go through derive()/scaled().
+        model = CostModel()
+        with pytest.raises(TypeError):
+            model._table[(TaskKind.REQUEST, "A")] = TaskCost(cpu=1)
+        with pytest.raises((TypeError, AttributeError)):
+            model._table.pop((TaskKind.REQUEST, "A"))
+        # Derived models still build fine from the frozen table ...
+        override = model.with_override(
+            TaskKind.REQUEST, "A", TaskCost(cpu=99, net=5))
+        assert override.request_cost("A").cpu == 99
+        # ... and the source model's caches are unaffected.
+        assert model.request_cost("A").cpu == 10
+        assert model.request_costs["A"].cpu == 10
+
 
 class TestRecords:
     def test_metric_normalization(self):

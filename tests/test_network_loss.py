@@ -211,3 +211,53 @@ class TestCollectorRetries:
         collector = system.collectors[0]
         assert collector.polls_failed >= 1
         assert collector.poll_retries_used >= 1
+
+
+class TestLinkSpecImmutability:
+    """link_loss_burst must swap LinkSpec objects, never mutate them.
+
+    The default LAN/WAN specs are shared module-level singletons, and
+    in-flight batches keep a reference to the spec they launched under:
+    a mutated spec would silently change in-flight traffic and leak the
+    burst into every later run in the process.
+    """
+
+    def test_linkspec_rejects_mutation(self):
+        spec = LinkSpec(latency=0.01, bandwidth=100.0)
+        with pytest.raises(AttributeError):
+            spec.loss_rate = 0.5
+        with pytest.raises(AttributeError):
+            spec.latency = 1.0
+        assert spec.loss_rate == 0.0
+
+    def test_burst_swap_and_restore_cycle(self):
+        from repro.workloads.faults import (
+            FaultEvent, FaultPlan, apply_fault_plan,
+        )
+
+        sim = Simulator(seed=3)
+        network = Network(sim)
+        network.add_host("a", "site1")
+        network.add_host("b", "site2")
+        original = network.wan
+
+        class _System:
+            pass
+
+        system = _System()
+        system.sim = sim
+        system.network = network
+        plan = FaultPlan([FaultEvent(
+            1.0, FaultEvent.LINK_LOSS_BURST, "wan",
+            loss_rate=0.3, clear_after=5.0,
+        )])
+        apply_fault_plan(system, plan)
+        sim.run(until=2.0)
+        assert network.wan is not original
+        assert network.wan.loss_rate == 0.3
+        # The shared default spec itself was never touched.
+        assert original.loss_rate == 0.0
+        sim.run(until=10.0)
+        # Restore re-installs the *original object*, so any cost or
+        # route derived from it before the burst is valid again.
+        assert network.wan is original
