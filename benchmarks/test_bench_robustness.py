@@ -514,3 +514,200 @@ def test_dead_letter_then_heal(once):
         },
         context={"seed": 7, "down_at": 10.0, "down_duration": 30.0},
     )
+
+
+# -- federation mesh partition/heal (ISSUE 8) ---------------------------------
+
+MESH_SITES = 4
+MESH_HEARTBEAT = 1.0
+MESH_TIMEOUT = 4.0 * MESH_HEARTBEAT
+PARTITION_AT = 15.0
+PARTITION_LEN = 25.0  # > the ~15s ladder: redelivery must drain the rest
+
+
+def run_mesh_partition(seed=9, timeout=2000.0):
+    """A 4-site mesh loses one site mid-run, then heals.
+
+    Site1 carries triple workload so its processor grid saturates and
+    forwards jobs across the mesh while the partition is live.  The mesh
+    must: detect the cut within its heartbeat timeout at every surviving
+    site, degrade site4's devices to offline, keep forwarding around the
+    hole (never into it), and -- after the heal -- drain to
+    ``classified == shipped`` with every forwarded job completing exactly
+    once and every trace chain complete or explicitly terminal.
+    """
+    from repro.core.federation import (
+        MESH, FederatedManagementSystem, FederatedTopologySpec, SiteSpec)
+    from repro.workloads.faults import site_partition_plan
+
+    spec = FederatedTopologySpec(
+        sites=[
+            SiteSpec.simple("site%d" % (index + 1), device_count=2,
+                            analyzer_count=1)
+            for index in range(MESH_SITES)
+        ],
+        mode=MESH,
+        seed=seed,
+        dataset_threshold=6,
+        job_timeout=JOB_TIMEOUT,
+        heartbeat_interval=MESH_HEARTBEAT,
+        forward_threshold=1,
+        federation_reliability={
+            # ~15s ladder, defeated by the 25s partition: parked streams
+            # and the partition-aware heal probe must close the gap.
+            "ack_timeout": 1.0, "backoff": 2.0, "max_attempts": 4,
+            "redelivery": True, "redelivery_interval": 2.0,
+            "redelivery_max_interval": 8.0,
+        },
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=BASE_LOSS),
+        telemetry=True,
+    )
+    system = FederatedManagementSystem(spec)
+    apply_fault_plan(system, site_partition_plan(
+        "site4", partition_at=PARTITION_AT, heal_after=PARTITION_LEN))
+    goals = system.make_site_goals(polls_per_type=4)
+    goals["site1"] = goals["site1"] * 3  # saturate site1 -> forwarding
+    system.assign_site_goals(goals)
+
+    def drained():
+        channel = system.reliable_channel
+        return (
+            channel.pending_count() == 0
+            and channel.parked_count() == 0
+            and all(r.classifier._open_dataset is None
+                    for r in system.sites.values())
+            and all(r.root.datasets for r in system.sites.values())
+            and all(state.finished
+                    for r in system.sites.values()
+                    for state in r.root.datasets.values())
+        )
+
+    while system.sim.now < timeout and not drained():
+        system.sim.run(until=system.sim.now + 5.0)
+    system.sim.run(until=system.sim.now + 5.0)  # settle trailing acks
+    channel = system.reliable_channel
+    observers = [
+        runtime.gateway for name, runtime in sorted(system.sites.items())
+        if name != "site4"
+    ]
+    detection_delay = max(
+        at for gateway in observers
+        for peer, at in gateway.partitions if peer == "site4"
+    ) - PARTITION_AT
+    forwarding = system.forwarding_report()
+    dead_records = _dead_letter_records(channel)
+    return {
+        "drained": drained(),
+        "records_shipped": system.records_shipped(),
+        "records_classified": system.records_classified(),
+        "dead_letter_records": dead_records,
+        "silent_loss": max(
+            0, system.records_shipped() - system.records_classified()
+            - dead_records),
+        "detection_delay": detection_delay,
+        "observers_detected": sum(
+            1 for gateway in observers
+            if any(peer == "site4" for peer, _ in gateway.partitions)),
+        "healed": all(
+            state == "up"
+            for states in system.link_state_report().values()
+            for state in states.values()),
+        "jobs_forwarded": forwarding["jobs_forwarded"],
+        "results_delivered": forwarding["results_delivered"],
+        "forwards_expired": forwarding["forwards_expired"],
+        "duplicate_results": forwarding["duplicate_results"],
+        "jobs_accepted": forwarding["jobs_accepted"],
+        "results_returned": forwarding["results_returned"],
+        "partitions_declared": forwarding["partitions_declared"],
+        "heals_declared": forwarding["heals_declared"],
+        "permanently_dead": len(channel.permanently_dead()),
+        "redelivered": channel.redelivered,
+        "retransmits": channel.retransmits,
+        "makespan": max(
+            (report.generated_at
+             for interface in system.interfaces()
+             for report in interface.reports), default=0.0),
+        "pipeline": system.telemetry.pipeline_report(),
+        "span_count": len(system.telemetry.recorder),
+    }
+
+
+def test_mesh_partition_heal(once):
+    result = once(run_mesh_partition)
+    emit("robustness_mesh_partition", format_table(
+        ("metric", "value"),
+        [
+            ("drained", result["drained"]),
+            ("records shipped / classified", "%d / %d" % (
+                result["records_shipped"], result["records_classified"])),
+            ("silent loss", result["silent_loss"]),
+            ("detection delay (s)", "%.2f" % result["detection_delay"]),
+            ("observers detecting", "%d / %d" % (
+                result["observers_detected"], MESH_SITES - 1)),
+            ("healed", result["healed"]),
+            ("jobs forwarded / delivered / expired", "%d / %d / %d" % (
+                result["jobs_forwarded"], result["results_delivered"],
+                result["forwards_expired"])),
+            ("duplicate results", result["duplicate_results"]),
+            ("partitions / heals declared", "%d / %d" % (
+                result["partitions_declared"], result["heals_declared"])),
+            ("redelivered", result["redelivered"]),
+            ("makespan (s)", "%.1f" % result["makespan"]),
+            ("trace chains complete / shipped", "%d / %d" % (
+                result["pipeline"]["complete"],
+                result["pipeline"]["batches"])),
+        ],
+        title="X8: 4-site mesh, site4 partitioned %gs..%gs" % (
+            PARTITION_AT, PARTITION_AT + PARTITION_LEN),
+    ))
+    assert result["drained"]
+    assert result["records_shipped"] > 0
+    # -- no silent loss globally; the heal drains to exact completeness --
+    assert result["silent_loss"] == 0
+    assert result["records_classified"] == result["records_shipped"]
+    assert result["permanently_dead"] == 0
+    # -- every surviving site detected the cut within the timeout --------
+    assert result["observers_detected"] == MESH_SITES - 1
+    assert 0 < result["detection_delay"] <= MESH_TIMEOUT
+    assert result["healed"]
+    # -- the saturation really crossed the boundary, exactly once --------
+    assert result["jobs_forwarded"] > 0
+    assert result["results_delivered"] + result["forwards_expired"] == \
+        result["jobs_forwarded"]
+    assert result["jobs_accepted"] == result["results_returned"]
+    # -- cross-site trace chains audit complete or explicitly terminal ---
+    pipeline = result["pipeline"]
+    assert pipeline["orphans"] == []
+    assert pipeline["incomplete"] == []
+    assert pipeline["complete"] == pipeline["batches"]
+    _merge_bench(
+        prefix="mesh_partition",
+        metrics={
+            "records_shipped": result["records_shipped"],
+            "records_classified": result["records_classified"],
+            "silent_loss": result["silent_loss"],
+            "detection_delay": result["detection_delay"],
+            # floor-gated in CI at 0: detection must beat the timeout
+            "detection_margin": MESH_TIMEOUT - result["detection_delay"],
+            "jobs_forwarded": result["jobs_forwarded"],
+            "results_delivered": result["results_delivered"],
+            "forwards_expired": result["forwards_expired"],
+            "duplicate_results": result["duplicate_results"],
+            "partitions_declared": result["partitions_declared"],
+            "heals_declared": result["heals_declared"],
+            "permanently_dead": result["permanently_dead"],
+            "redelivered": result["redelivered"],
+            "makespan": result["makespan"],
+            "trace_batches": result["pipeline"]["batches"],
+            "trace_chains_complete": result["pipeline"]["complete"],
+            "trace_orphan_spans": len(result["pipeline"]["orphans"]),
+        },
+        context={
+            "seed": 9,
+            "sites": MESH_SITES,
+            "heartbeat_interval": MESH_HEARTBEAT,
+            "heartbeat_timeout": MESH_TIMEOUT,
+            "partition_window": [PARTITION_AT, PARTITION_AT + PARTITION_LEN],
+            "base_loss": BASE_LOSS,
+        },
+    )

@@ -172,11 +172,67 @@ MANAGEMENT_REPORT = Ontology(
     optional=("dataset", "records_analyzed", "report"),
 )
 
+#: Inter-site liveness beacon (gateway -> peer gateway).  Piggybacks the
+#: sending site's processor-grid capacity advertisement (analyzer count
+#: and outstanding jobs) so a saturated peer can pick a forwarding target
+#: without extra round trips.  ``probe`` marks the capped-backoff beacons
+#: sent toward a partitioned peer while reconnecting.
+SITE_HEARTBEAT = Ontology(
+    "site-heartbeat",
+    fields={
+        "site": str,
+        "sent_at": (int, float),
+        "analyzers": int,
+        "outstanding": int,
+        "probe": bool,
+    },
+    optional=("probe",),
+)
+
+#: An analysis job shipped across the site boundary because the origin
+#: site's processor grid is saturated.  ``job`` is the ANALYSIS_JOB
+#: content verbatim; ``forward_hops`` caps relaying (a forwarded job is
+#: never forwarded again).
+FORWARDED_JOB = Ontology(
+    "forwarded-job",
+    fields={
+        "job": dict,
+        "origin_site": str,
+        "origin_gateway": str,
+        "forward_hops": int,
+    },
+)
+
+#: The result of a forwarded job travelling back to the origin gateway.
+FORWARDED_RESULT = Ontology(
+    "forwarded-result",
+    fields={
+        "result": dict,
+        "origin_site": str,
+        "executed_by": str,
+    },
+)
+
+#: Degradation notice (gateway -> local interface): a peer site changed
+#: link state, so its devices are now offline (partitioned) or back
+#: online (healed).  Never silently stale: the interface exposes this via
+#: ``device_status()`` / ``stale_findings()``.
+SITE_STATUS = Ontology(
+    "site-status",
+    fields={
+        "site": str,
+        "status": str,
+        "devices": (list, tuple),
+        "at": (int, float),
+    },
+)
+
 REGISTRY = {
     ontology.name: ontology
     for ontology in (
         CONTAINER_PROFILE, DATA_READY, ANALYSIS_JOB, ANALYSIS_RESULT,
         HEARTBEAT, JOB_CFP, JOB_PROPOSAL, MANAGEMENT_REPORT,
+        SITE_HEARTBEAT, FORWARDED_JOB, FORWARDED_RESULT, SITE_STATUS,
     )
 }
 

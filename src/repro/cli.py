@@ -222,7 +222,7 @@ def _cmd_crossover(args):
 
 def _cmd_federation(args):
     from repro.core.federation import (
-        FederatedManagementSystem, FederatedTopologySpec, SiteSpec)
+        MESH, FederatedManagementSystem, FederatedTopologySpec, SiteSpec)
 
     spec = FederatedTopologySpec(
         sites=[
@@ -232,12 +232,20 @@ def _cmd_federation(args):
         mode=args.mode,
         seed=args.seed,
         dataset_threshold=args.devices * 3,
+        federation_reliability=args.reliable or args.mode == MESH,
+        heartbeat_interval=args.heartbeat,
     )
     system = FederatedManagementSystem(spec)
     first_devices = sorted(system.devices)[: args.sites]
     for device_name in first_devices:
         system.devices[device_name].inject_fault("cpu_runaway")
     system.assign_site_goals(system.make_site_goals(polls_per_type=args.polls))
+    if args.partition:
+        from repro.workloads.faults import apply_fault_plan, site_partition_plan
+
+        apply_fault_plan(system, site_partition_plan(
+            args.partition, partition_at=args.partition_at,
+            heal_after=args.heal_after))
     total = args.sites * args.polls * 3
     completed = system.run_until_records(total, timeout=8000)
     system.stop_devices()
@@ -246,18 +254,41 @@ def _cmd_federation(args):
     print()
     print("completed: %s   records: %d   findings: %s" % (
         completed, system.records_analyzed(), ", ".join(kinds) or "none"))
+    forwarding = None
+    if args.mode == MESH:
+        forwarding = system.forwarding_report()
+        print(format_table(
+            ("site",) + tuple(sorted(system.sites)),
+            [
+                (site,) + tuple(
+                    states.get(peer, "-") for peer in sorted(system.sites)
+                )
+                for site, states in sorted(
+                    system.link_state_report().items())
+            ],
+            title="mesh link states:",
+        ))
+        print("forwarded: %d   delivered: %d   expired: %d   "
+              "partitions: %d   heals: %d" % (
+                  forwarding["jobs_forwarded"],
+                  forwarding["results_delivered"],
+                  forwarding["forwards_expired"],
+                  forwarding["partitions_declared"],
+                  forwarding["heals_declared"],
+              ))
     if args.json:
-        export.dump_json(
-            {
-                "mode": args.mode,
-                "completed": completed,
-                "records": system.records_analyzed(),
-                "finding_kinds": kinds,
-                "utilization": export.utilization_report_to_dict(
-                    system.utilization_report()),
-            },
-            args.json,
-        )
+        payload = {
+            "mode": args.mode,
+            "completed": completed,
+            "records": system.records_analyzed(),
+            "finding_kinds": kinds,
+            "utilization": export.utilization_report_to_dict(
+                system.utilization_report()),
+        }
+        if forwarding is not None:
+            payload["forwarding"] = forwarding
+            payload["link_states"] = system.link_state_report()
+        export.dump_json(payload, args.json)
     return 0
 
 
@@ -328,12 +359,25 @@ def build_parser():
     federation = subparsers.add_parser(
         "federation", help="run a multi-site deployment")
     _add_common(federation)
-    federation.add_argument("--mode", choices=("integrated", "siloed"),
+    federation.add_argument("--mode",
+                            choices=("integrated", "siloed", "mesh"),
                             default="integrated")
     federation.add_argument("--sites", type=int, default=2)
     federation.add_argument("--devices", type=int, default=2,
                             help="devices per site")
     federation.add_argument("--polls", type=int, default=4)
+    federation.add_argument("--reliable", action="store_true",
+                            help="route inter-site traffic over the "
+                                 "reliable channel (implied by mesh mode)")
+    federation.add_argument("--heartbeat", type=float, default=None,
+                            help="inter-site heartbeat interval in seconds "
+                                 "(mesh mode; default 1.0)")
+    federation.add_argument("--partition", metavar="SITE", default=None,
+                            help="partition SITE mid-run (mesh fault drill)")
+    federation.add_argument("--partition-at", type=float, default=15.0,
+                            help="when the partition starts (default 15)")
+    federation.add_argument("--heal-after", type=float, default=25.0,
+                            help="partition duration (default 25)")
     federation.set_defaults(handler=_cmd_federation)
 
     return parser

@@ -90,6 +90,9 @@ class InterfaceAgent(Agent):
         self.feedback_log = []
         self._report_waiters = []  # (count, SimEvent)
         self.subscribers = {}      # agent name -> minimum severity
+        # -- remote-site degradation (federation mesh) ----------------------
+        self.site_status = {}      # site -> last SITE_STATUS content
+        self._device_site = {}     # device name -> owning site
 
     def setup(self):
         interface = self
@@ -116,8 +119,20 @@ class InterfaceAgent(Agent):
                 if message is not None:
                     interface._handle_subscription(message)
 
+        class SiteStatus(CyclicBehaviour):
+            """Degradation notices from the local site gateway."""
+
+            def step(self):
+                message = yield from self.receive(MessageTemplate(
+                    performative=Performative.INFORM,
+                    ontology="site-status",
+                ))
+                if message is not None:
+                    interface._handle_site_status(message)
+
         self.add_behaviour(Reports("reports"))
         self.add_behaviour(Subscriptions("subscriptions"))
+        self.add_behaviour(SiteStatus("site-status"))
 
     # -- report handling -----------------------------------------------------
 
@@ -211,6 +226,59 @@ class InterfaceAgent(Agent):
         for report in self.reports:
             findings.extend(report.findings)
         return findings
+
+    # -- remote-site degradation (federation mesh) --------------------------
+
+    def _handle_site_status(self, message):
+        from repro.agents.ontology import SITE_STATUS
+
+        content = SITE_STATUS.validate(message.content)
+        self.site_status[content["site"]] = dict(content)
+        for device in content["devices"]:
+            self._device_site[device] = content["site"]
+
+    def partitioned_sites(self):
+        return sorted(
+            site for site, status in self.site_status.items()
+            if status["status"] == "partitioned"
+        )
+
+    def device_status(self, device_name):
+        """"offline" while the device's site is partitioned, else "online".
+
+        Only devices named in a SITE_STATUS notice are tracked; everything
+        else (including all local devices) is online by definition.
+        """
+        site = self._device_site.get(device_name)
+        if site is None:
+            return "online"
+        status = self.site_status.get(site)
+        if status is not None and status["status"] == "partitioned":
+            return "offline"
+        return "online"
+
+    def offline_devices(self):
+        """Devices currently behind a partitioned site boundary."""
+        return sorted(
+            device for device in self._device_site
+            if self.device_status(device) == "offline"
+        )
+
+    def stale_findings(self):
+        """Findings whose source site is currently partitioned.
+
+        The degradation contract: data from a severed site is never
+        silently stale -- the manager can always ask which of the
+        findings on screen come from a site the mesh cannot reach.
+        """
+        partitioned = set(self.partitioned_sites())
+        if not partitioned:
+            return []
+        return [
+            finding for finding in self.all_findings()
+            if finding.site in partitioned
+            or self._device_site.get(finding.device) in partitioned
+        ]
 
     # -- user feedback (input channel) -------------------------------------------
 

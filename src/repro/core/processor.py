@@ -193,6 +193,17 @@ class ProcessorRootAgent(Agent):
         self.jobs_dispatched = 0
         self.jobs_redispatched = 0
         self.reports_issued = 0
+        # -- cross-site forwarding (federation mesh) ------------------------
+        #: Optional callable ``forwarder(job_content, span) -> site | None``
+        #: installed by a site gateway; consulted when the local grid is
+        #: saturated.  A non-None return means the job left the site -- the
+        #: gateway owns delivery and the result comes back as a normal
+        #: ANALYSIS_RESULT under the same job id.
+        self.forwarder = None
+        #: Outstanding jobs per live container at/above which the local
+        #: grid counts as saturated for forwarding purposes.
+        self.forward_threshold = 2
+        self.jobs_forwarded = 0
         self.negotiator = None
         # -- heartbeat failure detection ------------------------------------
         self._last_heartbeat = {}   # container name -> last beacon time
@@ -329,6 +340,85 @@ class ProcessorRootAgent(Agent):
             profiles.append(profile)
         return profiles
 
+    def _job_content(self, job_id, dataset_id, cluster, record_count, level,
+                     state):
+        """Build the validated ANALYSIS_JOB content for one job.
+
+        Independent of placement -- the same content ships to a local
+        analyzer or, via the forwarder, to a peer site.
+        """
+        scatter = (
+            self._scatter_by_dataset.get(dataset_id) if level >= 3 else None
+        )
+        content_kwargs = dict(
+            job_id=job_id,
+            dataset=dataset_id,
+            cluster=cluster,
+            record_count=record_count,
+            level=level,
+            storage_host=state.storage_host,
+            problems=(
+                self._scatter_problems(scatter) if scatter is not None
+                else self._cross_problems(state) if level >= 3 else []
+            ),
+        )
+        if scatter is not None:
+            # Scatter-gather: the job names every shard's (host, dataset)
+            # so the analyzer fetches all of them before correlating.  The
+            # round stays registered until _finalize_cross, so a Reaper
+            # re-dispatch rebuilds the same merged view.
+            content_kwargs["shards"] = [list(pair) for pair in scatter.shards]
+        return ANALYSIS_JOB.make(**content_kwargs)
+
+    def _grid_saturated(self, profiles):
+        """True when every live container is at the forwarding threshold.
+
+        An empty profile list counts as saturated only when containers
+        *had* registered -- they are gone, not merely late to register;
+        a freshly built grid waits for registrations instead of shipping
+        its first jobs off-site.
+        """
+        if not profiles:
+            return bool(self._analyzer_agent_by_container or self._evicted)
+        outstanding = self._outstanding_by_container
+        return all(
+            outstanding.get(profile.container_name, 0)
+            >= self.forward_threshold
+            for profile in profiles
+        )
+
+    def _forward_job(self, job_id, dataset_id, cluster, record_count, level,
+                     state, span, exclude, attempt):
+        """Offer one job to the forwarder; book it as remote on success."""
+        remote = self.forwarder(
+            dict(self._job_content(
+                job_id, dataset_id, cluster, record_count, level, state,
+            )),
+            span,
+        )
+        if remote is None:
+            return None
+        remote_label = "remote:%s" % remote
+        # No service estimate for a remote container: the deadline is the
+        # attempt's full grace window, and the Reaper re-dispatches
+        # locally (new job id; the stale result dedups) if it expires.
+        grace = self.job_timeout * (2 ** (attempt - 1))
+        job_state = _JobState(
+            job_id, dataset_id, cluster, record_count, level,
+            remote_label, remote_label,
+            deadline=self.sim.now + grace, attempt=attempt,
+        )
+        job_state.excluded_containers = set(exclude)
+        job_state.span = span
+        self.jobs[job_id] = job_state
+        self.jobs_dispatched += 1
+        self.jobs_forwarded += 1
+        if attempt > 1:
+            self.jobs_redispatched += 1
+        if span is not None:
+            span.detail["container"] = remote_label
+        return job_state
+
     def _dispatch_job(self, dataset_id, cluster, record_count, level,
                       exclude=(), attempt=1):
         """Place and send one analysis job (process generator)."""
@@ -372,6 +462,13 @@ class ProcessorRootAgent(Agent):
             if not profiles and exclude:
                 # Every non-excluded container is gone; retry everywhere.
                 profiles = self._fresh_profiles(exclude=())
+            if self.forwarder is not None and self._grid_saturated(profiles):
+                forwarded = self._forward_job(
+                    job_id, dataset_id, cluster, record_count, level,
+                    state, span, exclude, attempt,
+                )
+                if forwarded is not None:
+                    return forwarded
             if not profiles:
                 yield 1.0  # no analyzers yet; wait for registrations
                 continue
@@ -398,28 +495,9 @@ class ProcessorRootAgent(Agent):
                     continue
                 container_name = chosen.container_name
         agent_name = self._analyzer_agent_by_container[container_name]
-        scatter = (
-            self._scatter_by_dataset.get(dataset_id) if level >= 3 else None
+        job_content = self._job_content(
+            job_id, dataset_id, cluster, record_count, level, state,
         )
-        content_kwargs = dict(
-            job_id=job_id,
-            dataset=dataset_id,
-            cluster=cluster,
-            record_count=record_count,
-            level=level,
-            storage_host=state.storage_host,
-            problems=(
-                self._scatter_problems(scatter) if scatter is not None
-                else self._cross_problems(state) if level >= 3 else []
-            ),
-        )
-        if scatter is not None:
-            # Scatter-gather: the job names every shard's (host, dataset)
-            # so the analyzer fetches all of them before correlating.  The
-            # round stays registered until _finalize_cross, so a Reaper
-            # re-dispatch rebuilds the same merged view.
-            content_kwargs["shards"] = [list(pair) for pair in scatter.shards]
-        job_content = ANALYSIS_JOB.make(**content_kwargs)
         # Deadline = estimated service time on the chosen container plus a
         # grace that doubles per attempt; a busy queue is not a dead host.
         chosen_container = self.platform.containers.get(container_name)
@@ -955,10 +1033,13 @@ class AnalyzerAgent(Agent):
             findings=findings,
             records_analyzed=analyzed,
         )
+        # Reply to whoever sent the REQUEST -- normally the grid root, but
+        # a site gateway dispatching a forwarded job needs the result back
+        # at the gateway so it can return it across the site boundary.
         self.send(ACLMessage(
             Performative.INFORM,
             sender=self.name,
-            receiver=self.root_name,
+            receiver=str(message.sender),
             content=dict(result),
             ontology=ANALYSIS_RESULT.name,
             size_units=self.cost_model.notify_size + 0.1 * len(findings),

@@ -518,41 +518,11 @@ class GridManagementSystem:
         every component's counters as labelled metric sources for unified
         snapshots.
         """
-        recorder = self.telemetry.recorder
+        from repro.simkernel.telemetry import wire_channel_tracing
+
         if self.reliable_channel is not None:
-            previous_hook = self.reliable_channel.on_dead_letter
-
-            def _trace_dead_letter(dead):
-                context = getattr(dead.message.payload, "trace_context", None)
-                if context is not None and dead.terminal:
-                    # Parked envelopes keep their ship span open -- the
-                    # redelivery scheduler will re-open the chain; only a
-                    # final loss (redelivery off, or budget exhausted at
-                    # park time) terminates it.
-                    recorder.end(context[1], status="dead-letter",
-                                 reason=dead.reason, attempts=dead.attempts)
-                if previous_hook is not None:
-                    previous_hook(dead)
-
-            def _trace_redelivered(dead):
-                context = getattr(dead.message.payload, "trace_context", None)
-                if context is not None:
-                    span = recorder.start(
-                        "redeliver", context[0], parent=context[1],
-                        grid="network", agent="reliable-channel",
-                        attempts=dead.attempts)
-                    recorder.end(span, status="ok")
-
-            def _trace_gave_up(dead):
-                context = getattr(dead.message.payload, "trace_context", None)
-                if context is not None:
-                    recorder.end(context[1], status="dead-letter",
-                                 reason="redelivery gave up: %s" % dead.reason,
-                                 attempts=dead.attempts)
-
-            self.reliable_channel.on_dead_letter = _trace_dead_letter
-            self.reliable_channel.on_redelivered = _trace_redelivered
-            self.reliable_channel.on_redelivery_gave_up = _trace_gave_up
+            wire_channel_tracing(self.telemetry.recorder,
+                                 self.reliable_channel)
         telemetry = self.telemetry
         for collector in self.collectors:
             telemetry.register_source(

@@ -429,11 +429,24 @@ class ReliableChannel:
                 return
         host = self.network.hosts.get(dst)
         if host is not None and host.up:
-            parked = list(queue)
-            del self._parked[dst]
-            wires = [self._reopen(dead) for dead in parked]
-            self.transport.post_batch(wires)
-            return
+            # Site partitions are invisible to host liveness (the peer is
+            # up, just unreachable), so the probe must also consult the
+            # topology's partition state -- otherwise parked envelopes
+            # toward a partitioned site would churn re-ship/re-exhaust
+            # rounds against a severed link until their budget ran out.
+            severed = self.network.severed_between
+            ready = [dead for dead in queue
+                     if not severed(dead.stream[0], dst)]
+            if ready:
+                still_cut = [dead for dead in queue if dead not in ready]
+                if still_cut:
+                    queue[:] = still_cut
+                else:
+                    del self._parked[dst]
+                wires = [self._reopen(dead) for dead in ready]
+                self.transport.post_batch(wires)
+                if not still_cut:
+                    return
         interval = min(
             self.redelivery_max_interval,
             self._probe_interval.get(dst, self.redelivery_interval)
@@ -554,6 +567,20 @@ class ReliableChannel:
         if not self.messages_acked:
             return 0.0
         return self.latency_sum / self.messages_acked
+
+    def stream_stats(self):
+        """Per-stream accounting: one row per (src host, dst host, port).
+
+        Exposes the persistent inter-site link view the federation mesh
+        reports on: how many envelopes each site-pair stream has carried
+        and how many are still unacknowledged.
+        """
+        rows = {}
+        for stream, next_seq in self._next_seq.items():
+            rows[stream] = {"sent": next_seq, "pending": 0}
+        for (stream, _seq) in self._pending:
+            rows[stream]["pending"] += 1
+        return rows
 
     def stats(self):
         return {

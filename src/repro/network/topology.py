@@ -163,6 +163,11 @@ class Network:
         self.wan = wan if wan is not None else DEFAULT_WAN
         self.sites = {}
         self.hosts = {}
+        #: Sites whose inter-site links are currently severed (see
+        #: :meth:`partition_site`).  Empty in every healthy run -- the
+        #: transport only consults :meth:`severed` when this is non-empty,
+        #: so the partition machinery costs nothing when unused.
+        self.partitioned_sites = set()
 
     def add_site(self, name, lan=None):
         if name in self.sites:
@@ -201,6 +206,46 @@ class Network:
 
     def hosts_by_role(self, role):
         return [h for h in self.hosts.values() if h.role == role]
+
+    # -- site partitions ---------------------------------------------------
+
+    def partition_site(self, site_name):
+        """Sever every inter-site link touching ``site_name``.
+
+        Hosts inside the partitioned site keep talking to each other over
+        the LAN; only traffic that crosses the site boundary is dropped.
+        Idempotent.  The hosts themselves stay ``up`` -- a partition is a
+        *network* failure, which is exactly why heartbeat-driven detection
+        (rather than host-liveness probing) is needed above.
+        """
+        if site_name not in self.sites:
+            raise KeyError("unknown site %r" % site_name)
+        self.partitioned_sites.add(site_name)
+
+    def heal_site(self, site_name):
+        """Restore inter-site connectivity for ``site_name``.  Idempotent."""
+        if site_name not in self.sites:
+            raise KeyError("unknown site %r" % site_name)
+        self.partitioned_sites.discard(site_name)
+
+    def severed(self, src, dst):
+        """True if src -> dst traffic crosses a partitioned site boundary."""
+        if not self.partitioned_sites or src.site is dst.site:
+            return False
+        return (
+            src.site.name in self.partitioned_sites
+            or dst.site.name in self.partitioned_sites
+        )
+
+    def severed_between(self, src_name, dst_name):
+        """Name-based :meth:`severed` for callers that hold host names."""
+        if not self.partitioned_sites:
+            return False
+        src = self.hosts.get(src_name)
+        dst = self.hosts.get(dst_name)
+        if src is None or dst is None:
+            return False
+        return self.severed(src, dst)
 
     def __repr__(self):
         return "Network(sites=%d, hosts=%d)" % (len(self.sites), len(self.hosts))

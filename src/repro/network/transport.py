@@ -392,6 +392,13 @@ class Transport:
                 self._finish(batch, index, "lost in transit")
                 return
         dst = batch.dst
+        # Site partitions sever traffic at the destination edge: messages
+        # already in flight when the partition starts are lost too, like a
+        # real cut fibre.  The set membership guard keeps the healthy path
+        # free of any per-message cost (partitioned_sites is normally empty).
+        if self.network.partitioned_sites and self.network.severed(batch.src, dst):
+            self._finish(batch, index, "site partitioned")
+            return
         if not dst.up:
             self._finish(batch, index, "destination host down")
             return

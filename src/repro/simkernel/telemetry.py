@@ -800,3 +800,54 @@ class Telemetry:
         return "Telemetry(spans=%d, sources=%d, profile=%s)" % (
             len(self.recorder), len(self._sources),
             self.profiler is not None)
+
+
+def wire_channel_tracing(recorder, channel):
+    """Hook a :class:`~repro.network.reliable.ReliableChannel` into a recorder.
+
+    Terminates in-flight spans when the channel gives up on an envelope --
+    so no traced batch ever vanishes from the trace tree without an
+    explicit ``dead-letter`` status -- and records a ``redeliver`` span
+    each time the redelivery scheduler re-ships a parked envelope.  Any
+    previously installed channel hooks keep firing after the tracing ones
+    (the deployments chain their accounting hooks through here).
+    """
+    previous_dead = channel.on_dead_letter
+    previous_redelivered = channel.on_redelivered
+    previous_gave_up = channel.on_redelivery_gave_up
+
+    def _trace_dead_letter(dead):
+        context = getattr(dead.message.payload, "trace_context", None)
+        if context is not None and dead.terminal:
+            # Parked envelopes keep their ship span open -- the
+            # redelivery scheduler will re-open the chain; only a
+            # final loss (redelivery off, or budget exhausted at
+            # park time) terminates it.
+            recorder.end(context[1], status="dead-letter",
+                         reason=dead.reason, attempts=dead.attempts)
+        if previous_dead is not None:
+            previous_dead(dead)
+
+    def _trace_redelivered(dead):
+        context = getattr(dead.message.payload, "trace_context", None)
+        if context is not None:
+            span = recorder.start(
+                "redeliver", context[0], parent=context[1],
+                grid="network", agent="reliable-channel",
+                attempts=dead.attempts)
+            recorder.end(span, status="ok")
+        if previous_redelivered is not None:
+            previous_redelivered(dead)
+
+    def _trace_gave_up(dead):
+        context = getattr(dead.message.payload, "trace_context", None)
+        if context is not None:
+            recorder.end(context[1], status="dead-letter",
+                         reason="redelivery gave up: %s" % dead.reason,
+                         attempts=dead.attempts)
+        if previous_gave_up is not None:
+            previous_gave_up(dead)
+
+    channel.on_dead_letter = _trace_dead_letter
+    channel.on_redelivered = _trace_redelivered
+    channel.on_redelivery_gave_up = _trace_gave_up

@@ -13,6 +13,11 @@ Faults injected in experiments fall into three families:
   ``clear_after`` to model a reboot (:meth:`Host.recover`).
 * **network faults** -- ``link_loss_burst`` spikes a LAN/WAN loss rate for
   a while; the reliable channel is expected to retransmit through it.
+  ``site_partition`` severs every inter-site link touching one site (its
+  hosts stay up and keep talking over the LAN); ``site_partition_heal``
+  restores it.  The federation mesh is expected to *detect* the partition
+  within its heartbeat timeout, degrade the peer's devices to offline,
+  and converge back after the heal.
 
 ``container_down`` kills exactly one container (its agents stop; the host
 and its other containers stay up).  Killing the whole machine is
@@ -28,13 +33,16 @@ class FaultEvent:
         kind: device fault kind ("cpu_runaway", "memory_leak",
             "disk_filling", "interface_down"), "container_down",
             "agent_down", "host_down" or "link_loss_burst".
-        target: device / container / agent / host name, or -- for
+        target: device / container / agent / host name, a site name for
+            "site_partition"/"site_partition_heal", or -- for
             "link_loss_burst" -- "wan" or a site name.
         interface: interface index ("interface_down" only).
         clear_after: optional duration after which the fault self-clears
-            (device faults, "host_down" recovery, burst end).  Rejected
-            for "container_down"/"agent_down": killed containers and
-            agents do not resurrect; deploy a new one instead.
+            (device faults, "host_down" recovery, burst end, partition
+            auto-heal).  Rejected for "container_down"/"agent_down":
+            killed containers and agents do not resurrect; deploy a new
+            one instead.  Rejected for "site_partition_heal": a heal is
+            instantaneous.
         loss_rate: the burst loss probability ("link_loss_burst" only).
     """
 
@@ -44,8 +52,11 @@ class FaultEvent:
     AGENT_DOWN = "agent_down"
     HOST_DOWN = "host_down"
     LINK_LOSS_BURST = "link_loss_burst"
+    SITE_PARTITION = "site_partition"
+    SITE_PARTITION_HEAL = "site_partition_heal"
     INFRA_KINDS = (CONTAINER_DOWN, AGENT_DOWN, HOST_DOWN)
-    KINDS = DEVICE_KINDS + INFRA_KINDS + (LINK_LOSS_BURST,)
+    NETWORK_KINDS = (LINK_LOSS_BURST, SITE_PARTITION, SITE_PARTITION_HEAL)
+    KINDS = DEVICE_KINDS + INFRA_KINDS + NETWORK_KINDS
 
     def __init__(self, at, kind, target, interface=None, clear_after=None,
                  loss_rate=None):
@@ -61,6 +72,11 @@ class FaultEvent:
                 raise ValueError(
                     "%s does not support clear_after (killed containers/"
                     "agents do not resurrect)" % kind)
+            if kind == self.SITE_PARTITION_HEAL:
+                raise ValueError(
+                    "site_partition_heal does not support clear_after "
+                    "(a heal is instantaneous; schedule another "
+                    "site_partition instead)")
             if clear_after <= 0:
                 raise ValueError("clear_after must be > 0")
         if kind == self.LINK_LOSS_BURST:
@@ -153,14 +169,29 @@ def dead_letter_heal_plan(dest_host, down_at=10.0, down_duration=30.0):
     ])
 
 
+def site_partition_plan(site, partition_at=15.0, heal_after=25.0):
+    """Sever one site from the rest of the mesh, then heal it.
+
+    The window should comfortably exceed the mesh heartbeat timeout so
+    detection (partition Finding, devices marked offline) is observable,
+    and the run should extend well past the heal so redelivery drains
+    parked envelopes back to ``classified == shipped``.
+    """
+    return FaultPlan([
+        FaultEvent(partition_at, FaultEvent.SITE_PARTITION, site,
+                   clear_after=heal_after),
+    ])
+
+
 def apply_fault_plan(system, plan):
     """Schedule every fault in ``plan`` on a built grid system.
 
     Device faults resolve against ``system.devices``; container faults
     against ``system.platform.containers``; agent faults against the
     platform's agent registry; host faults against ``system.network``;
-    loss bursts against the WAN or a site LAN.  Unknown targets raise
-    immediately (misconfigured experiments should fail loudly).
+    loss bursts against the WAN or a site LAN; partitions against a site.
+    Unknown targets raise immediately (misconfigured experiments should
+    fail loudly).
     """
     for event in plan:
         if event.kind == FaultEvent.CONTAINER_DOWN:
@@ -183,6 +214,20 @@ def apply_fault_plan(system, plan):
             if event.clear_after is not None:
                 system.sim.schedule(
                     event.at + event.clear_after, host.recover, ())
+        elif event.kind in (FaultEvent.SITE_PARTITION,
+                            FaultEvent.SITE_PARTITION_HEAL):
+            if event.target not in system.network.sites:
+                raise KeyError("unknown site %r" % event.target)
+            if event.kind == FaultEvent.SITE_PARTITION:
+                system.sim.schedule(
+                    event.at, system.network.partition_site, (event.target,))
+                if event.clear_after is not None:
+                    system.sim.schedule(
+                        event.at + event.clear_after,
+                        system.network.heal_site, (event.target,))
+            else:
+                system.sim.schedule(
+                    event.at, system.network.heal_site, (event.target,))
         elif event.kind == FaultEvent.LINK_LOSS_BURST:
             _resolve_link(system.network, event.target)  # fail loudly now
             system.sim.schedule(

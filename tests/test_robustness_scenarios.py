@@ -18,6 +18,11 @@ its configuration buys -- no more, no less:
 Telemetry rides along passively in half the cells: span chains must
 never dangle from unrecorded parents, and in the tier-2 cell every
 shipped batch's chain must be *complete* -- redelivered, not terminated.
+
+A fourth cell family exercises the federation mesh (ISSUE 8): a 4-site
+mesh loses one site mid-run and heals, and must uphold the tier-2
+heal-complete contract *globally* -- plus mesh-specific invariants
+(detection within the heartbeat timeout, exactly-once forwarding).
 """
 
 import pytest
@@ -167,6 +172,109 @@ class TestTier2RedeliveryHeal:
             assert all(s.status != "dead-letter" for s in ships)
             assert recorder.find(name="redeliver")
             # ...and the end-to-end audit agrees.
+            pipeline = system.telemetry.pipeline_report()
+            assert pipeline["incomplete"] == []
+            assert pipeline["orphans"] == []
+            assert pipeline["complete"] == pipeline["batches"]
+        else:
+            assert system.telemetry is None
+
+
+MESH_HEARTBEAT = 1.0
+MESH_TIMEOUT = 4.0 * MESH_HEARTBEAT
+PARTITION_AT = 15.0
+PARTITION_LEN = 25.0
+
+
+@pytest.mark.parametrize("telemetry", [False, True])
+class TestMeshPartitionHeal:
+    """4-site federation mesh, one site severed mid-run then healed."""
+
+    def _run_cell(self, telemetry):
+        from repro.core.federation import (
+            MESH, FederatedManagementSystem, FederatedTopologySpec, SiteSpec)
+        from repro.workloads.faults import site_partition_plan
+
+        spec = FederatedTopologySpec(
+            sites=[
+                SiteSpec.simple("site%d" % (index + 1), device_count=2,
+                                analyzer_count=1)
+                for index in range(4)
+            ],
+            mode=MESH,
+            seed=11,
+            dataset_threshold=6,
+            heartbeat_interval=MESH_HEARTBEAT,
+            forward_threshold=1,
+            federation_reliability={
+                "ack_timeout": 1.0, "backoff": 2.0, "max_attempts": 4,
+                "redelivery": True, "redelivery_interval": 2.0,
+                "redelivery_max_interval": 8.0,
+            },
+            wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
+            telemetry=telemetry,
+        )
+        system = FederatedManagementSystem(spec)
+        apply_fault_plan(system, site_partition_plan(
+            "site4", partition_at=PARTITION_AT, heal_after=PARTITION_LEN))
+        goals = system.make_site_goals(polls_per_type=4)
+        goals["site1"] = goals["site1"] * 3  # saturate site1 -> forwarding
+        system.assign_site_goals(goals)
+        system.sim.run(until=HORIZON)
+        return system
+
+    def test_heal_complete_with_mesh_invariants(self, telemetry):
+        system = self._run_cell(telemetry)
+        channel = system.reliable_channel
+
+        # -- tier-2 contract, held globally across all four sites --------
+        shipped = system.records_shipped()
+        classified = system.records_classified()
+        assert shipped > 0
+        assert classified == shipped
+        assert channel.parked_count() == 0
+        assert channel.pending_count() == 0
+        assert not channel.permanently_dead()
+        for runtime in system.sites.values():
+            assert runtime.root.datasets
+            assert all(state.finished
+                       for state in runtime.root.datasets.values())
+
+        # -- every surviving site detected the cut within the timeout ----
+        for site_name, runtime in system.sites.items():
+            if site_name == "site4":
+                continue
+            declared = [at for peer, at in runtime.gateway.partitions
+                        if peer == "site4"]
+            assert declared
+            assert declared[0] <= PARTITION_AT + MESH_TIMEOUT * 1.25
+
+        # -- and reconverged after the heal -------------------------------
+        for states in system.link_state_report().values():
+            assert set(states.values()) == {"up"}
+        report = system.forwarding_report()
+        assert report["partitions_declared"] == 6  # 3 observers + 3 from site4
+        assert report["heals_declared"] == 6
+
+        # -- exactly-once forwarding accounting ---------------------------
+        assert report["jobs_forwarded"] > 0
+        assert report["results_delivered"] + report["forwards_expired"] == \
+            report["jobs_forwarded"]
+        assert report["jobs_accepted"] == report["results_returned"]
+        assert report["duplicate_results"] == 0
+
+        # -- degradation was visible and then cleared ---------------------
+        interface = system.sites["site1"].interface
+        kinds = {finding.kind for finding in interface.all_findings()}
+        assert "site-partition" in kinds
+        assert "site-partition-heal" in kinds
+        assert interface.partitioned_sites() == []
+        assert interface.offline_devices() == []
+
+        if telemetry:
+            recorder = system.telemetry.recorder
+            assert recorder.orphan_spans() == []
+            assert recorder.find(name="forward")
             pipeline = system.telemetry.pipeline_report()
             assert pipeline["incomplete"] == []
             assert pipeline["orphans"] == []

@@ -17,6 +17,7 @@ from repro.workloads.generator import RequestMix, WorkloadGenerator, goals_for_m
 from repro.workloads.scenarios import (
     crossover_scenarios,
     paper_scenario,
+    partition_scenario,
     scaling_scenario,
 )
 
@@ -96,6 +97,24 @@ class TestScenarios:
         with pytest.raises(ValueError):
             Scenario("empty", [], RequestMix())
 
+    def test_partition_scenario_carries_fault_plan(self):
+        scenario = partition_scenario(site_count=3, devices_per_site=2,
+                                      partition_at=10.0, heal_after=20.0)
+        assert len(scenario.devices) == 6
+        assert {device.site for device in scenario.devices} == \
+            {"site1", "site2", "site3"}
+        assert scenario.fault_plan is not None
+        [event] = scenario.fault_plan
+        # default target: the last site; heals clear_after later
+        assert event.kind == FaultEvent.SITE_PARTITION
+        assert event.target == "site3"
+        assert event.at == 10.0
+        assert event.clear_after == 20.0
+
+    def test_partition_scenario_needs_two_sites(self):
+        with pytest.raises(ValueError):
+            partition_scenario(site_count=1)
+
 
 class TestFaultEvents:
     def test_validation(self):
@@ -126,6 +145,24 @@ class TestFaultEvents:
             FaultEvent(at=0, kind="container_down", target="c", interface=1)
         assert FaultEvent(at=0, kind="interface_down", target="d",
                           interface=1).interface == 1
+
+    def test_site_partition_kind_validation(self):
+        # a heal is instantaneous -- it cannot itself clear
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="site_partition_heal", target="s",
+                       clear_after=5.0)
+        # loss_rate/interface are link/device knobs, not partition knobs
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="site_partition", target="s",
+                       loss_rate=0.5)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0, kind="site_partition", target="s",
+                       interface=1)
+        # auto-heal via clear_after is modelled, as is an explicit heal
+        assert FaultEvent(at=0, kind="site_partition", target="s",
+                          clear_after=9.0).clear_after == 9.0
+        assert FaultEvent(at=3, kind="site_partition_heal",
+                          target="s").kind == "site_partition_heal"
 
     def test_loss_rate_only_on_link_loss_burst(self):
         with pytest.raises(ValueError):
@@ -242,6 +279,41 @@ class TestChaosFaultApplication:
         ]))
         system.run(until=2)
         assert system.network.sites["mgmt"].lan.loss_rate == 0.2
+
+    def test_site_partition_with_auto_heal(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="site_partition", target="field",
+                       clear_after=3.0),
+        ]))
+        system.run(until=2)
+        assert system.network.partitioned_sites == {"field"}
+        system.run(until=10)
+        assert system.network.partitioned_sites == set()
+
+    def test_explicit_site_partition_heal_event(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="site_partition", target="mgmt"),
+            FaultEvent(at=4.0, kind="site_partition_heal", target="mgmt"),
+        ]))
+        system.run(until=2)
+        assert system.network.partitioned_sites == {"mgmt"}
+        system.run(until=10)
+        assert system.network.partitioned_sites == set()
+
+    def test_site_partition_unknown_site_raises(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        with pytest.raises(KeyError):
+            apply_fault_plan(system, FaultPlan([
+                FaultEvent(at=1.0, kind="site_partition", target="atlantis"),
+            ]))
 
     def test_unknown_targets_raise_before_running(self):
         from repro.workloads.faults import FaultPlan, apply_fault_plan
