@@ -50,6 +50,7 @@ CONTENTION_PROCESSES = 2_000
 CONTENTION_USES = 25
 TRANSPORT_MESSAGES = 100_000
 TRANSPORT_BURST = 50  # same-instant same-flow messages per burst
+HISTOGRAM_RECORDS = 500_000
 # X3 big-topology configuration: 500 managed devices, 32 management hosts
 # (16 collectors + 14 analyzers + storage + interface).
 BIGTOPO_DEVICES = 500
@@ -334,6 +335,35 @@ def test_bench_bigtopo_streaming_telemetry():
         shutil.rmtree(stream_dir, ignore_errors=True)
 
 
+def test_bench_histogram_record_throughput():
+    """``LatencyHistogram.record`` on a realistic latency spread.
+
+    The health layer feeds every closed pipeline span through this call
+    in-line, so it sits on the telemetry hot path: O(1), allocation-free
+    once the working set of sparse buckets exists.  Values are
+    precomputed (log-uniform across 8 decades) so the measurement is the
+    record loop, not ``random``.
+    """
+    import random
+
+    from repro.simkernel.histogram import LatencyHistogram
+
+    rng = random.Random(SEED)
+    values = [10 ** rng.uniform(-4, 4) for _ in range(HISTOGRAM_RECORDS)]
+
+    def work():
+        histogram = LatencyHistogram()
+        record = histogram.record
+        for value in values:
+            record(value)
+        assert histogram.count == HISTOGRAM_RECORDS
+
+    rate, elapsed = _best_rate(work, HISTOGRAM_RECORDS)
+    _RESULTS["histogram_record_per_sec"] = rate
+    print("histogram records/sec: %.0f (%.3fs for %d)" %
+          (rate, elapsed, HISTOGRAM_RECORDS))
+
+
 def test_bench_zero_delay_telemetry_throughput():
     """The zero-delay chain with a telemetry session attached.
 
@@ -411,6 +441,7 @@ def test_bench_kernel_export():
         "bigtopo_streaming_wall_seconds",
         "transport_msgs_per_sec",
         "transport_unbatched_msgs_per_sec",
+        "histogram_record_per_sec",
         "bigtopo_wall_seconds",
         "bigtopo_sim_seconds_per_wall_second",
         "figure6c_wall_seconds",
@@ -445,6 +476,7 @@ def test_bench_kernel_export():
             "contention_uses": CONTENTION_USES,
             "transport_messages": TRANSPORT_MESSAGES,
             "transport_burst": TRANSPORT_BURST,
+            "histogram_records": HISTOGRAM_RECORDS,
             "bigtopo_devices": BIGTOPO_DEVICES,
             "bigtopo_requests_per_type": BIGTOPO_REQUESTS_PER_TYPE,
             "bigtopo_collectors": BIGTOPO_COLLECTORS,

@@ -711,3 +711,144 @@ def test_mesh_partition_heal(once):
             "base_loss": BASE_LOSS,
         },
     )
+
+
+# -- SLO burn-rate drill (ISSUE 9) --------------------------------------------
+
+SLO_OUTAGE_AT = 2.0
+SLO_OUTAGE_LEN = 30.0
+SLO_TARGET = 10.0  # healthy ship p90 sits well under this; outage blows it
+
+
+def run_slo_burn(seed=11, timeout=2000.0):
+    """The X7 storage outage, observed by the health layer.
+
+    A separate cell rather than a rider on ``run_chaos``: the monitor's
+    management-report traffic consumes reliable-channel loss draws, which
+    would silently shift the gated chaos metrics.  The contract under
+    test: the ship-stage burn trips *during* the outage (dead-letter
+    statuses count against the budget immediately, before any latency is
+    even measurable) and clears after the heal -- and both edges arrive
+    at the interface grid as findings over the ordinary alert path.
+    """
+    from repro.core.health import SLOSpec
+
+    spec = GridTopologySpec(
+        devices=[
+            DeviceSpec("dev1", "server", "field"),
+            DeviceSpec("dev2", "router", "field"),
+            DeviceSpec("dev3", "server", "field"),
+        ],
+        collector_hosts=[HostSpec("col1", "field")],
+        analysis_hosts=[HostSpec("inf1", "mgmt"), HostSpec("inf2", "mgmt")],
+        storage_host=HostSpec("stor", "mgmt"),
+        interface_host=HostSpec("iface", "mgmt"),
+        seed=seed,
+        dataset_threshold=4,
+        policy="round-robin",
+        job_timeout=JOB_TIMEOUT,
+        heartbeat_interval=HEARTBEAT_INTERVAL,
+        reliability={
+            # ~15s ladder, defeated by the 30s outage: dead-letters feed
+            # the burn windows while redelivery heals the data path.
+            "ack_timeout": 1.0, "backoff": 2.0, "max_attempts": 4,
+            "redelivery": True, "redelivery_interval": 2.0,
+            "redelivery_max_interval": 8.0,
+        },
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
+        slos=[SLOSpec("ship", p=90.0, target=SLO_TARGET, window=120.0,
+                      fast_window=30.0)],
+    )
+    system = GridManagementSystem(spec)
+    system.collectors[0].poll_retries = 8
+    apply_fault_plan(system, FaultPlan([
+        FaultEvent(SLO_OUTAGE_AT, FaultEvent.HOST_DOWN, "stor",
+                   clear_after=SLO_OUTAGE_LEN),
+    ]))
+    system.assign_goals(system.make_paper_goals(polls_per_type=4))
+    while system.sim.now < timeout and not (
+            _drained(system) and not system.health.active_burns()):
+        system.sim.run(until=system.sim.now + 5.0)
+    system.sim.run(until=system.sim.now + 5.0)  # settle trailing acks
+    tracker = system.health.trackers[0]
+    raises = [at for at, event, _, _ in tracker.events if event == "raise"]
+    clears = [at for at, event, _, _ in tracker.events if event == "clear"]
+    interface = system.interface
+    return {
+        "drained": _drained(system),
+        "records_shipped": system.collectors[0].records_shipped,
+        "records_classified": system.classifier.records_classified,
+        "burns_raised": tracker.raised,
+        "burns_cleared": tracker.cleared,
+        "burning_at_end": len(system.health.active_burns()),
+        "first_raise_at": raises[0] if raises else -1.0,
+        "last_clear_at": clears[-1] if clears else -1.0,
+        "peak_fast_burn": max(
+            (fast for _, event, fast, _ in tracker.events
+             if event == "raise"), default=0.0),
+        "findings_shipped": system.health.findings_shipped,
+        "burn_alerts": sum(1 for alert in interface.alerts
+                           if alert.finding.kind == "slo-burn"),
+        "clear_findings": sum(
+            1 for report in interface.reports
+            for finding in report.findings
+            if finding.kind == "slo-burn-clear"),
+        "overall_state": system.health.scorecards()["overall"],
+        "ship_p99": system.health.stage_latency()["ship"]["p99"],
+    }
+
+
+def test_slo_burn_raised_and_cleared(once):
+    result = once(run_slo_burn)
+    emit("robustness_slo_burn", format_table(
+        ("metric", "value"),
+        [
+            ("drained", result["drained"]),
+            ("burns raised / cleared", "%d / %d" % (
+                result["burns_raised"], result["burns_cleared"])),
+            ("first raise / last clear (s)", "%.1f / %.1f" % (
+                result["first_raise_at"], result["last_clear_at"])),
+            ("peak fast burn (x budget)", "%.1f" % result["peak_fast_burn"]),
+            ("burn alerts at interface", result["burn_alerts"]),
+            ("overall scorecard at end", result["overall_state"]),
+            ("ship p99 (s)", "%.2f" % result["ship_p99"]),
+        ],
+        title="X7d: SLO burn drill (ship p90 < %gs vs the 30s outage)" %
+              SLO_TARGET,
+    ))
+    assert result["drained"]
+    assert result["records_shipped"] > 0
+    # The burn tripped while the outage was live (or its parked backlog
+    # was still redelivering), not in hindsight...
+    assert result["burns_raised"] >= 1
+    assert result["first_raise_at"] >= SLO_OUTAGE_AT
+    assert result["peak_fast_burn"] >= 2.0  # the trip threshold
+    # ...and every raise eventually cleared: no stuck gauges.
+    assert result["burns_cleared"] == result["burns_raised"]
+    assert result["burning_at_end"] == 0
+    assert result["last_clear_at"] > SLO_OUTAGE_AT + SLO_OUTAGE_LEN
+    # Both edges crossed the alert path: burns page, clears inform.
+    assert result["burn_alerts"] >= 1
+    assert result["clear_findings"] >= 1
+    assert result["findings_shipped"] == \
+        result["burns_raised"] + result["burns_cleared"]
+    assert result["overall_state"] == "green"
+    _merge_bench(
+        prefix="slo",
+        metrics={
+            "burns_raised": result["burns_raised"],
+            "burns_cleared": result["burns_cleared"],
+            "burning_at_end": result["burning_at_end"],
+            "first_raise_at": result["first_raise_at"],
+            "last_clear_at": result["last_clear_at"],
+            "peak_fast_burn": result["peak_fast_burn"],
+            "burn_alerts": result["burn_alerts"],
+            "findings_shipped": result["findings_shipped"],
+            "ship_p99": result["ship_p99"],
+        },
+        context={
+            "seed": 11,
+            "outage_window": [SLO_OUTAGE_AT, SLO_OUTAGE_AT + SLO_OUTAGE_LEN],
+            "slo": "ship p90 < %gs over 120s (fast 30s)" % SLO_TARGET,
+        },
+    )

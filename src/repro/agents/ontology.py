@@ -185,8 +185,9 @@ SITE_HEARTBEAT = Ontology(
         "analyzers": int,
         "outstanding": int,
         "probe": bool,
+        "health": str,
     },
-    optional=("probe",),
+    optional=("probe", "health"),
 )
 
 #: An analysis job shipped across the site boundary because the origin

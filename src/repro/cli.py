@@ -121,6 +121,43 @@ def _print_span_report(recorder, pipeline, trace_count):
               % pipeline["dropped"])
     for trace_id, stage, why in pipeline["incomplete"]:
         print("  incomplete %s at %s: %s" % (trace_id, stage, why))
+    stage_latency = pipeline.get("stage_latency")
+    if stage_latency:
+        print()
+        print(_stage_latency_table(stage_latency))
+
+
+def _stage_latency_table(stage_latency, title="stage latency (s):"):
+    return format_table(
+        ("stage", "count", "mean", "p50", "p95", "p99", "max"),
+        [
+            (stage, stats["count"], format_number(stats["mean"]),
+             format_number(stats["p50"]), format_number(stats["p95"]),
+             format_number(stats["p99"]), format_number(stats["max"]))
+            for stage, stats in stage_latency.items()
+        ],
+        title=title,
+    )
+
+
+def _print_slowest(recorder, limit):
+    """The N worst critical-path chains with per-stage attribution."""
+    rows = recorder.slowest_traces(limit)
+    if not rows:
+        print("no closed trace chains recorded")
+        return
+    print("slowest %d trace chains (critical path):" % len(rows))
+    for trace_id, total, chain in rows:
+        print()
+        print("  %s  total %.3fs" % (trace_id, total))
+        for span in chain:
+            duration = span.duration
+            where = "@".join(part for part in (span.agent, span.host) if part)
+            print("    %-10s %8s  %-6s %s" % (
+                span.name,
+                "%.3fs" % duration if duration is not None else "open",
+                span.status, where,
+            ))
 
 
 def _cmd_trace_follow(args):
@@ -134,6 +171,9 @@ def _cmd_trace_follow(args):
     print()
     _print_span_report(recorder, recorder.pipeline_report(),
                        manifest.get("trace_count", 0))
+    if args.slowest:
+        print()
+        _print_slowest(recorder, args.slowest)
     return 0
 
 
@@ -173,10 +213,16 @@ def _cmd_trace(args):
         recorder, _ = load_streaming_trace(args.stream)
         _print_span_report(recorder, recorder.pipeline_report(),
                            telemetry.recorder.trace_count)
+        if args.slowest:
+            print()
+            _print_slowest(recorder, args.slowest)
     else:
         pipeline = telemetry.pipeline_report()
         _print_span_report(telemetry.recorder, pipeline,
                            telemetry.recorder.trace_count)
+        if args.slowest:
+            print()
+            _print_slowest(telemetry.recorder, args.slowest)
     if telemetry.profiler is not None:
         print()
         print(format_table(
@@ -194,6 +240,270 @@ def _cmd_trace(args):
         export.dump_json(telemetry.metrics_snapshot(), args.metrics)
         print("metrics snapshot written to %s" % args.metrics)
     return 0 if completed else 1
+
+
+# -- operational health (top / slo) ---------------------------------------
+
+#: Default SLOs for the dashboard / CI heal drill: generous targets that
+#: a healthy Figure-6c run meets easily (ship spans legitimately run tens
+#: of seconds -- they cover dataset batching), blown through during an
+#: outage, when parked batches redeliver minutes late or dead-letter.
+DEFAULT_SLOS = ("ship:90:40:120", "dispatch:90:45:120")
+
+
+def _parse_slo(text):
+    """``stage:p:target[:window[:fast]]`` -> :class:`SLOSpec`."""
+    from repro.core.health import SLOSpec
+
+    parts = text.split(":")
+    if not 3 <= len(parts) <= 5:
+        raise SystemExit(
+            "bad --slo %r (expected stage:p:target[:window[:fast]])" % text)
+    kwargs = {"stage": parts[0], "p": float(parts[1]),
+              "target": float(parts[2])}
+    if len(parts) >= 4:
+        kwargs["window"] = float(parts[3])
+    if len(parts) == 5:
+        kwargs["fast_window"] = float(parts[4])
+    return SLOSpec(**kwargs)
+
+
+_STATE_DOTS = {"green": "\x1b[32m●\x1b[0m", "degraded": "\x1b[33m●\x1b[0m",
+               "red": "\x1b[31m●\x1b[0m"}
+
+
+def _state_dot(state, color):
+    if color:
+        return "%s %s" % (_STATE_DOTS.get(state, "?"), state)
+    return state
+
+
+def _burn_gauge(burn, width=20):
+    filled = min(width, int(round(min(burn, 10.0) / 10.0 * width)))
+    return "[%s%s]" % ("#" * filled, "." * (width - filled))
+
+
+def _render_health_frame(title, now, stage_latency, slo_rows, scorecards,
+                         channel, plain):
+    """One dashboard frame (ANSI-redraw unless ``plain``)."""
+    color = not plain and sys.stdout.isatty()
+    if not plain and sys.stdout.isatty():
+        sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+    else:
+        print("=" * 66)
+    print("%s   t=%.1fs" % (title, now))
+    print()
+    if stage_latency:
+        print(_stage_latency_table(stage_latency))
+    else:
+        print("(no closed pipeline spans yet)")
+    print()
+    if slo_rows:
+        print("slo burn rates (fast/slow windows; trip >= threshold on both):")
+        for row in slo_rows:
+            slo = row["slo"]
+            state = "BURNING" if row["burning"] else "ok"
+            print("  %-9s p%-4g < %gs  fast %6.2f %s slow %6.2f  %s" % (
+                slo["stage"], slo["p"], slo["target"],
+                row["fast_burn"], _burn_gauge(row["fast_burn"]),
+                row["slow_burn"], state))
+        print()
+    if scorecards is not None:
+        print("scorecards (overall: %s)" % _state_dot(
+            scorecards["overall"], color))
+        for site, state in scorecards["sites"].items():
+            print("  site %-10s %s" % (site, _state_dot(state, color)))
+        for name, card in sorted(scorecards["containers"].items()):
+            reasons = "; ".join(card["reasons"])
+            print("    %-22s %-16s %s" % (
+                name, _state_dot(card["state"], color), reasons))
+        print()
+    if channel:
+        print("reliable channel: sent %d  delivered %d  retransmits %d  "
+              "dead-letters %d  parked %d  redelivered %d" % (
+                  channel.get("sent", 0), channel.get("delivered", 0),
+                  channel.get("retransmits", 0),
+                  channel.get("dead_letters", 0), channel.get("parked", 0),
+                  channel.get("redelivered", 0)))
+    sys.stdout.flush()
+
+
+def _build_health_system(args, slos):
+    from repro.core.system import GridTopologySpec, GridManagementSystem
+
+    reliability = False
+    if args.reliable:
+        # The chaos-matrix ladder: retransmissions give up inside ~15s so
+        # a longer outage exercises park + redelivery.
+        reliability = {
+            "ack_timeout": 1.0, "backoff": 2.0, "max_attempts": 4,
+            "redelivery": True, "redelivery_interval": 2.0,
+            "redelivery_max_interval": 8.0,
+        }
+    spec = GridTopologySpec.paper_figure6c(
+        seed=args.seed,
+        dataset_threshold=args.polls * 3,
+        reliability=reliability,
+        heartbeat_interval=2.0,
+        job_timeout=40.0,
+        shards=getattr(args, "shards", 1),
+        slos=slos,
+    )
+    return GridManagementSystem(spec)
+
+
+def _analyzed(system):
+    return sum(r.records_analyzed for r in system.interface.reports)
+
+
+def _cmd_top(args):
+    if args.follow:
+        return _cmd_top_follow(args)
+    slos = [_parse_slo(text) for text in (args.slo or DEFAULT_SLOS)]
+    system = _build_health_system(args, slos)
+    system.assign_goals(system.make_paper_goals(polls_per_type=args.polls))
+    total = args.polls * 3
+    health = system.health
+    title = "repro-sim top -- Figure 6(c) grid, seed %d" % args.seed
+    frames = 0
+    while system.sim.now < args.duration:
+        system.sim.run(until=system.sim.now + args.refresh)
+        snap = health.snapshot()
+        _render_health_frame(
+            title, system.sim.now, snap["stage_latency"], snap["slos"],
+            snap["scorecards"], snap.get("reliable_channel"), args.plain)
+        frames += 1
+        if args.frames and frames >= args.frames:
+            break
+        if _analyzed(system) >= total and not health.active_burns():
+            break
+    print()
+    print("workload: %d/%d records analyzed, %d burn findings shipped"
+          % (_analyzed(system), total, health.findings_shipped))
+    return 0
+
+
+def _cmd_top_follow(args):
+    """Replay a streamed trace directory as dashboard frames."""
+    from repro.core.health import SLOTracker
+    from repro.simkernel.histogram import LatencyHistogram
+    from repro.simkernel.telemetry import (
+        PIPELINE_STAGES, load_streaming_trace)
+
+    recorder, manifest = load_streaming_trace(args.follow)
+    slos = [_parse_slo(text) for text in (args.slo or DEFAULT_SLOS)]
+    trackers = [SLOTracker(slo) for slo in slos]
+    closed = sorted(
+        (span for span in recorder.spans if span.t_end is not None),
+        key=lambda span: (span.t_end, span.span_id))
+    if not closed:
+        print("no closed spans in %s" % args.follow)
+        return 1
+    title = "repro-sim top --follow %s (%d spans)" % (
+        args.follow, len(closed))
+    frames = max(1, args.frames or 8)
+    horizon = closed[-1].t_end
+    step = horizon / frames
+    histograms = {}
+    cursor = 0
+    for frame in range(1, frames + 1):
+        frame_end = step * frame if frame < frames else horizon
+        while cursor < len(closed) and closed[cursor].t_end <= frame_end:
+            span = closed[cursor]
+            cursor += 1
+            if span.name in PIPELINE_STAGES:
+                histogram = histograms.get(span.name)
+                if histogram is None:
+                    histogram = histograms[span.name] = LatencyHistogram()
+                histogram.record(span.duration)
+            for tracker in trackers:
+                if tracker.slo.stage == span.name:
+                    tracker.record(span.t_end, span.duration, span.status)
+        for tracker in trackers:
+            tracker.evaluate(frame_end)
+        stage_latency = {
+            stage: histograms[stage].summary()
+            for stage in PIPELINE_STAGES if stage in histograms
+        }
+        _render_health_frame(
+            title, frame_end, stage_latency,
+            [tracker.snapshot(frame_end) for tracker in trackers],
+            None, None, args.plain)
+    raised = sum(tracker.raised for tracker in trackers)
+    cleared = sum(tracker.cleared for tracker in trackers)
+    print()
+    print("replayed %d frames over %.1fs: %d burns raised, %d cleared"
+          % (frames, horizon, raised, cleared))
+    return 0
+
+
+def _cmd_slo(args):
+    """The CI heal drill: outage trips a burn, heal must clear it."""
+    from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+
+    slos = [_parse_slo(text) for text in (args.slo or DEFAULT_SLOS)]
+    args.reliable = True  # the drill needs park + redelivery to heal
+    system = _build_health_system(args, slos)
+    system.collectors[0].poll_retries = 8
+    apply_fault_plan(system, FaultPlan([
+        FaultEvent(args.outage_at, FaultEvent.HOST_DOWN, "storage1",
+                   clear_after=args.outage_len),
+    ]))
+    system.assign_goals(system.make_paper_goals(polls_per_type=args.polls))
+    total = args.polls * 3
+    health = system.health
+    deadline = args.duration
+    while system.sim.now < deadline:
+        system.sim.run(until=system.sim.now + 5.0)
+        if _analyzed(system) >= total and not health.active_burns():
+            break
+    # One settle margin: let trailing acks land and the final burn
+    # evaluation tick observe the drained windows.
+    system.sim.run(until=system.sim.now + 2 * health.check_interval)
+    snapshot = health.snapshot()
+    raised = sum(tracker.raised for tracker in health.trackers)
+    cleared = sum(tracker.cleared for tracker in health.trackers)
+    uncleared = snapshot["active_burns"]
+    print("slo heal drill: storage host down at t=%gs for %gs, seed %d"
+          % (args.outage_at, args.outage_len, args.seed))
+    print("records analyzed: %d/%d   burns raised: %d   cleared: %d"
+          % (_analyzed(system), total, raised, cleared))
+    for event in snapshot["burn_events"]:
+        print("  t=%-8.1f %-6s %s p%g (fast %.2f, slow %.2f)" % (
+            event["time"], event["event"], event["stage"], event["p"],
+            event["fast_burn"], event["slow_burn"]))
+    print(_stage_latency_table(snapshot["stage_latency"]))
+    print("scorecards overall: %s" % snapshot["scorecards"]["overall"])
+    if args.report:
+        payload = dict(snapshot)
+        payload["burns_raised"] = raised
+        payload["burns_cleared"] = cleared
+        payload["records_analyzed"] = _analyzed(system)
+        payload["records_expected"] = total
+        # Span objects aren't JSON; the report only needs the audit counts.
+        pipeline = system.telemetry.pipeline_report()
+        payload["pipeline"] = {
+            "batches": pipeline["batches"],
+            "complete": pipeline["complete"],
+            "incomplete": len(pipeline["incomplete"]),
+            "orphans": len(pipeline["orphans"]),
+            "open": len(pipeline["open"]),
+            "dropped": pipeline["dropped"],
+        }
+        export.dump_json(payload, args.report)
+        print("report written to %s" % args.report)
+    if not raised:
+        print("FAIL: the outage never tripped a burn -- the drill is "
+              "vacuous (check the SLO targets against the fault plan)")
+        return 1
+    if uncleared:
+        print("FAIL: %d slo-burn finding(s) still active after the heal: %s"
+              % (len(uncleared),
+                 ", ".join(burn["stage"] for burn in uncleared)))
+        return 1
+    print("PASS: every slo-burn raised during the outage cleared after "
+          "the heal")
+    return 0
 
 
 def _cmd_crossover(args):
@@ -347,7 +657,55 @@ def build_parser():
                        help="skip the run: read a streaming-export "
                             "manifest from DIR and print the span summary "
                             "and pipeline audit from the on-disk chunks")
+    trace.add_argument("--slowest", type=int, default=0, metavar="N",
+                       help="also print the N worst critical-path chains "
+                            "with per-stage attribution")
     trace.set_defaults(handler=_cmd_trace)
+
+    top = subparsers.add_parser(
+        "top", help="live health dashboard over a running grid "
+                    "(or --follow a streamed trace)")
+    _add_common(top)
+    top.add_argument("--polls", type=int, default=10)
+    top.add_argument("--refresh", type=float, default=5.0,
+                     help="simulated seconds per dashboard frame "
+                          "(default 5)")
+    top.add_argument("--duration", type=float, default=300.0,
+                     help="maximum simulated seconds (default 300)")
+    top.add_argument("--frames", type=int, default=0,
+                     help="stop after N frames (0 = run to completion; "
+                          "--follow mode defaults to 8)")
+    top.add_argument("--reliable", action="store_true",
+                     help="route critical sends over the reliable channel")
+    top.add_argument("--shards", type=int, default=1)
+    top.add_argument("--slo", action="append", metavar="SPEC",
+                     help="latency objective as stage:p:target[:window"
+                          "[:fast]] (repeatable; default %s)"
+                          % " ".join(DEFAULT_SLOS))
+    top.add_argument("--plain", action="store_true",
+                     help="frame separators instead of ANSI screen redraw "
+                          "(for logs / non-TTY output)")
+    top.add_argument("--follow", metavar="DIR", default=None,
+                     help="replay a streaming-export directory as "
+                          "dashboard frames instead of running a sim")
+    top.set_defaults(handler=_cmd_top)
+
+    slo = subparsers.add_parser(
+        "slo", help="run the outage/heal SLO drill; exit 1 on any "
+                    "un-cleared slo-burn finding")
+    _add_common(slo)
+    slo.add_argument("--polls", type=int, default=6)
+    slo.add_argument("--duration", type=float, default=400.0,
+                     help="simulated-time budget (default 400)")
+    slo.add_argument("--outage-at", type=float, default=5.0)
+    slo.add_argument("--outage-len", type=float, default=30.0)
+    slo.add_argument("--slo", action="append", metavar="SPEC",
+                     help="latency objective as stage:p:target[:window"
+                          "[:fast]] (repeatable; default %s)"
+                          % " ".join(DEFAULT_SLOS))
+    slo.add_argument("--report", metavar="PATH", default=None,
+                     help="write the CI-consumable JSON health report here")
+    slo.set_defaults(handler=_cmd_slo)
 
     crossover = subparsers.add_parser(
         "crossover", help="sweep workload volume across architectures")

@@ -260,6 +260,12 @@ class SiteGatewayAgent(Agent):
         self.link_state = {peer: LINK_UP for peer in self.peer_gateways}
         self._last_heard = {}      # peer -> sim time of last beacon
         self.peer_capacity = {}    # peer -> {"analyzers": n, "outstanding": n}
+        #: Optional zero-arg callable returning this site's scorecard
+        #: state ("green"/"degraded"/"red"); when set, beacons advertise
+        #: it and peers collect the states in :attr:`peer_health` -- the
+        #: federation leg of the health layer's scorecard aggregation.
+        self.health_supplier = None
+        self.peer_health = {}      # peer -> last advertised health state
         self._probe_interval = {}  # peer -> current backoff (partitioned only)
         self._next_probe_at = {}   # peer -> next probe time
         self.partitions = []       # (peer, declared_at)
@@ -354,6 +360,8 @@ class SiteGatewayAgent(Agent):
         )
         if probe:
             content_kwargs["probe"] = True
+        if self.health_supplier is not None:
+            content_kwargs["health"] = self.health_supplier()
         # Plain (unreliable) send on purpose: retransmission would mask
         # the very silence the failure detector listens for.
         self.send(ACLMessage(
@@ -407,6 +415,8 @@ class SiteGatewayAgent(Agent):
             "analyzers": content["analyzers"],
             "outstanding": content["outstanding"],
         }
+        if "health" in content:
+            self.peer_health[peer] = content["health"]
         state = self.link_state[peer]
         if state == LINK_PARTITIONED:
             # First sign of life: not trusted yet -- one more beacon
@@ -1016,6 +1026,74 @@ class FederatedManagementSystem:
             for site_name, runtime in self.sites.items()
             if runtime.gateway is not None
         }
+
+    # -- health scorecards (mesh mode) ------------------------------------
+
+    def site_scorecard(self, site_name):
+        """One site's green/degraded/red state from its own containers.
+
+        A severed link degrades the observing site too: a gateway that
+        has declared a peer partitioned is operating without that peer's
+        capacity, which is a degradation even when every local container
+        is green.
+        """
+        from repro.core.health import (
+            DEGRADED, GREEN, container_scorecard, worst_state)
+
+        runtime = self.sites[site_name]
+        now = self.sim.now
+        states = []
+        for container in self.platform.containers.values():
+            if container.host.site.name != site_name:
+                continue
+            card = container_scorecard(
+                container, now, root=runtime.root,
+                channel=self.reliable_channel)
+            states.append(card["state"])
+        state = worst_state(states) if states else GREEN
+        gateway = runtime.gateway
+        if gateway is not None and state == GREEN and any(
+                link in (LINK_PARTITIONED, LINK_HEALING)
+                for link in gateway.link_state.values()):
+            state = DEGRADED
+        return state
+
+    def enable_health_ads(self):
+        """Make every gateway advertise its site scorecard on beacons.
+
+        Peers collect the advertised states in ``gateway.peer_health``;
+        :meth:`mesh_health_report` merges both views.  Opt-in (off by
+        default) because the extra beacon field is visible to ontology
+        validation and message accounting.
+        """
+        for site_name, runtime in self.sites.items():
+            if runtime.gateway is None:
+                continue
+            runtime.gateway.health_supplier = (
+                lambda site=site_name: self.site_scorecard(site))
+
+    def mesh_health_report(self):
+        """``{site: {"self": state, "peers": {observer: advertised}}}``.
+
+        ``self`` is the site's own scorecard right now; ``peers`` maps
+        each observing site to the state it last heard advertised --
+        stale during a partition, which is exactly the point: the mesh's
+        view of a severed site freezes at the last beacon.
+        """
+        report = {}
+        for site_name in self.sites:
+            observed = {}
+            for observer, runtime in self.sites.items():
+                if observer == site_name or runtime.gateway is None:
+                    continue
+                state = runtime.gateway.peer_health.get(site_name)
+                if state is not None:
+                    observed[observer] = state
+            report[site_name] = {
+                "self": self.site_scorecard(site_name),
+                "peers": observed,
+            }
+        return report
 
     def forwarding_report(self):
         """Mesh-wide forwarding counters, summed over all gateways."""

@@ -98,6 +98,15 @@ class GridTopologySpec:
             registry); a dict supplies its keyword arguments
             (``capacity``, ``profile``).  Telemetry is passive -- the
             simulation's behaviour and outputs are identical either way.
+        slos: iterable of :class:`~repro.core.health.SLOSpec` latency
+            objectives.  Declaring any builds a
+            :class:`~repro.core.health.HealthMonitor` (and implies
+            ``telemetry=True``): per-stage streaming histograms,
+            multi-window burn-rate alerting (``slo-burn`` findings
+            through the ordinary report/alert path) and green /
+            degraded / red scorecards.  Unlike telemetry, the monitor
+            is *active* (its checker ticks and its findings travel the
+            network), so leave it unset for byte-identical paper runs.
         shards: number of classifier/storage shards.  1 (default) is the
             paper reproduction, byte-identical to the unsharded code
             path.  Above 1, the grid partitions by consistent hash of
@@ -145,6 +154,7 @@ class GridTopologySpec:
         heartbeat_interval=None,
         heartbeat_timeout=None,
         telemetry=False,
+        slos=(),
         shards=1,
         shard_vnodes=64,
         scatter_window=10.0,
@@ -206,6 +216,10 @@ class GridTopologySpec:
             heartbeat_timeout = 4.0 * heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.telemetry = telemetry
+        # SLOs need the span feed; declaring any implies telemetry.
+        self.slos = tuple(slos)
+        if self.slos and not self.telemetry:
+            self.telemetry = True
         if int(shards) != shards or shards < 1:
             raise ValueError("shards must be a positive integer")
         if shard_vnodes < 1:
@@ -303,6 +317,15 @@ class GridManagementSystem:
         self._build_collector_grid()
         if self.telemetry is not None:
             self._wire_telemetry()
+        # The health layer only exists when SLOs are declared: its checker
+        # process schedules real events (and its findings travel the real
+        # network), so an always-on monitor would break the telemetry
+        # passivity contract pinned by tests/test_telemetry.py.
+        self.health = None
+        if spec.slos:
+            from repro.core.health import HealthMonitor
+
+            self.health = HealthMonitor(self, spec.slos).attach()
 
     # -- construction ----------------------------------------------------
 

@@ -292,8 +292,15 @@ class ReliableChannel:
     def pending_count(self):
         return len(self._pending)
 
-    def parked_count(self):
-        """Dead-lettered envelopes currently waiting for a heal."""
+    def parked_count(self, host=None):
+        """Dead-lettered envelopes currently waiting for a heal.
+
+        With ``host`` given, only envelopes parked against that
+        destination host -- the health scorecards use this to pin the
+        degradation on the host that is refusing delivery.
+        """
+        if host is not None:
+            return len(self._parked.get(host, ()))
         return sum(len(queue) for queue in self._parked.values())
 
     def permanently_dead(self):

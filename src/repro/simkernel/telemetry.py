@@ -137,6 +137,11 @@ class SpanRecorder:
         #: Optional :class:`StreamingTraceExporter`; when set, closed spans
         #: are rotated to disk and evicted so capacity is never reached.
         self.exporter = None
+        #: Callables invoked with each span the moment it closes (before
+        #: any streaming eviction) -- the in-line feed for the health
+        #: layer's per-stage histograms.  Hooks must be passive: recording
+        #: only, no event scheduling, no RNG draws.
+        self.close_hooks = []
         self._by_id = {}
         self._next_span = 1
         self._next_trace = 1
@@ -194,6 +199,8 @@ class SpanRecorder:
         span.status = status
         if detail:
             span.detail.update(detail)
+        for hook in self.close_hooks:
+            hook(span)
         exporter = self.exporter
         if exporter is not None:
             exporter.span_closed()
@@ -329,7 +336,97 @@ class SpanRecorder:
             "orphans": self.orphan_spans(),
             "open": self.open_spans(),
             "dropped": self.dropped,
+            "stage_latency": self.stage_latency(),
         }
+
+    def stage_latency(self, qs=(50, 95, 99)):
+        """Per-stage latency quantiles over every *closed* span.
+
+        Returns ``{stage: {count, mean, min, max, p50, p95, p99}}`` for
+        each Figure-2 pipeline stage that recorded at least one closed
+        span, computed through :class:`LatencyHistogram` -- so the live
+        recorder, a ``--follow`` replay of a streamed trace and the
+        health layer's in-line histograms all report the same numbers.
+        """
+        from repro.simkernel.histogram import LatencyHistogram
+
+        stages = {}
+        wanted = set(PIPELINE_STAGES)
+        for span in self.spans:
+            if span.t_end is None or span.name not in wanted:
+                continue
+            histogram = stages.get(span.name)
+            if histogram is None:
+                histogram = stages[span.name] = LatencyHistogram()
+            histogram.record(span.t_end - span.t_start)
+        return {
+            stage: stages[stage].summary(qs)
+            for stage in PIPELINE_STAGES if stage in stages
+        }
+
+    # -- critical path ------------------------------------------------------
+
+    def critical_path(self, trace_id):
+        """The longest-duration span chain of one trace, root to leaf.
+
+        Follows ``parent_id`` edges only (links mark merge points, not
+        time attribution) and maximises the *sum of span durations* along
+        the chain; open spans contribute zero.  Returns the chain as a
+        list of :class:`Span` objects in causal order -- empty when the
+        trace recorded nothing.
+        """
+        members = [span for span in self.spans if span.trace_id == trace_id]
+        if not members:
+            return []
+        ids = {span.span_id for span in members}
+        children = {}
+        roots = []
+        for span in members:
+            if span.parent_id in ids:
+                children.setdefault(span.parent_id, []).append(span)
+            else:
+                roots.append(span)
+
+        best = {}  # span_id -> (total_duration, chain tuple)
+
+        def chain_from(span):
+            cached = best.get(span.span_id)
+            if cached is not None:
+                return cached
+            weight = span.duration or 0.0
+            tail = (0.0, ())
+            for child in children.get(span.span_id, ()):
+                candidate = chain_from(child)
+                if candidate[0] > tail[0]:
+                    tail = candidate
+            result = (weight + tail[0], (span,) + tail[1])
+            best[span.span_id] = result
+            return result
+
+        winner = (0.0, ())
+        for root in roots:
+            candidate = chain_from(root)
+            if candidate[0] > winner[0]:
+                winner = candidate
+        return list(winner[1])
+
+    def slowest_traces(self, limit=5):
+        """``(trace_id, total_duration, chain)`` rows, worst first.
+
+        One row per trace (skipping the reserved behaviour-attribution
+        trace), where ``chain`` is :meth:`critical_path` and the rows
+        sort by the chain's summed duration.
+        """
+        rows = []
+        for trace_id in sorted({span.trace_id for span in self.spans
+                                if span.trace_id != Telemetry.BEHAVIOUR_TRACE}):
+            chain = self.critical_path(trace_id)
+            if not chain:
+                continue
+            total = sum(span.duration or 0.0 for span in chain)
+            rows.append((trace_id, total, chain))
+        rows.sort(key=lambda row: (-row[1], row[0]))
+        return rows[:limit]
 
     # -- export ------------------------------------------------------------
 

@@ -1,0 +1,292 @@
+"""Health layer: SLO burn-rate machine, alert-path findings, scorecards.
+
+Three layers of coverage:
+
+* pure units -- :class:`SLOSpec` validation, the sliding-window counter
+  and the multi-window trip/clear state machine, no simulator at all;
+* one wired deployment -- declaring ``slos=`` on the spec builds the
+  monitor, feeds the per-stage histograms in line from span closes, and
+  a storage-host outage trips a ``slo-burn`` finding that arrives at the
+  interface grid as an :class:`~repro.core.reports.Alert` and clears
+  after the heal (the ``slo-burn-clear`` info finding follows);
+* the federation leg -- gateways advertise their site scorecard on
+  beacons and peers collect it.
+"""
+
+import pytest
+
+from repro.core.health import (
+    BAD_STATUSES, DEGRADED, GREEN, RED, SLOSpec, SLOTracker,
+    aggregate_scorecards, worst_state)
+from repro.core.system import (
+    DeviceSpec, GridManagementSystem, GridTopologySpec, HostSpec)
+from repro.network.topology import LinkSpec
+from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+
+
+class TestSLOSpec:
+    def test_defaults_and_budget(self):
+        slo = SLOSpec("dispatch", p=99.0, target=5.0)
+        assert slo.window == 3600.0
+        assert slo.fast_window == 300.0  # the SRE 5min-vs-1h pairing
+        assert slo.budget == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOSpec("", p=99, target=1.0)
+        with pytest.raises(ValueError):
+            SLOSpec("ship", p=100.0, target=1.0)
+        with pytest.raises(ValueError):
+            SLOSpec("ship", p=99, target=0.0)
+        with pytest.raises(ValueError):
+            SLOSpec("ship", p=99, target=1.0, window=60.0, fast_window=120.0)
+        with pytest.raises(ValueError):
+            SLOSpec("ship", p=99, target=1.0, burn_threshold=1.0,
+                    clear_threshold=2.0)
+
+
+class TestSLOTracker:
+    def _tracker(self):
+        return SLOTracker(SLOSpec(
+            "ship", p=90.0, target=1.0, window=120.0, fast_window=30.0))
+
+    def test_trips_only_when_both_windows_burn(self):
+        tracker = self._tracker()
+        # Good traffic fills the slow window first.
+        for index in range(20):
+            tracker.record(float(index), 0.5)
+        assert tracker.evaluate(20.0) is None
+        # A burst of bad events: fast window saturates, and with budget
+        # 0.1 the slow window's burn also exceeds 2x.
+        for index in range(20):
+            tracker.record(20.0 + index * 0.5, 5.0)
+        assert tracker.evaluate(30.0) == "raise"
+        assert tracker.burning
+        assert tracker.evaluate(31.0) is None  # no re-raise while burning
+
+    def test_bad_statuses_burn_regardless_of_duration(self):
+        tracker = self._tracker()
+        for status in sorted(BAD_STATUSES):
+            assert tracker.record(0.0, 0.001, status) is True
+        assert tracker.record(0.0, 0.001, "ok") is False
+        # Open spans terminated by the detector have a duration; a None
+        # duration (defensive) must not crash the comparison.
+        assert tracker.record(0.0, None, "evicted") is True
+        assert tracker.record(0.0, None, "ok") is False
+
+    def test_clears_with_hysteresis_once_fast_window_drains(self):
+        tracker = self._tracker()
+        for index in range(10):
+            tracker.record(float(index), 5.0)
+        assert tracker.evaluate(10.0) == "raise"
+        # 31 seconds later the bad burst has left the 30s fast window
+        # (slow window still remembers it -- that must not block clear).
+        tracker.record(41.0, 0.5)
+        assert tracker.evaluate(41.5) == "clear"
+        assert not tracker.burning
+        assert tracker.raised == 1 and tracker.cleared == 1
+        assert [event for _, event, _, _ in tracker.events] == \
+            ["raise", "clear"]
+
+    def test_empty_windows_report_zero_burn(self):
+        tracker = self._tracker()
+        assert tracker.burn_rates(1000.0) == (0.0, 0.0)
+
+
+class TestScorecardHelpers:
+    def test_worst_state_ordering(self):
+        assert worst_state([]) == GREEN
+        assert worst_state([GREEN, DEGRADED]) == DEGRADED
+        assert worst_state([DEGRADED, RED, GREEN]) == RED
+
+    def test_aggregate_by_site(self):
+        cards = {
+            "a": {"state": GREEN, "site": "s1"},
+            "b": {"state": RED, "site": "s1"},
+            "c": {"state": DEGRADED, "site": "s2"},
+        }
+        report = aggregate_scorecards(cards)
+        assert report["sites"] == {"s1": RED, "s2": DEGRADED}
+        assert report["overall"] == RED
+
+
+OUTAGE_AT = 2.0
+OUTAGE_LEN = 30.0
+HORIZON = 400.0
+
+
+def _build_system(slos, heal=True):
+    spec = GridTopologySpec(
+        devices=[
+            DeviceSpec("dev1", "server", "field"),
+            DeviceSpec("dev2", "router", "field"),
+            DeviceSpec("dev3", "server", "field"),
+        ],
+        collector_hosts=[HostSpec("col1", "field")],
+        analysis_hosts=[HostSpec("inf1", "mgmt"), HostSpec("inf2", "mgmt")],
+        storage_host=HostSpec("stor", "mgmt"),
+        interface_host=HostSpec("iface", "mgmt"),
+        seed=11,
+        dataset_threshold=4,
+        policy="round-robin",
+        job_timeout=40.0,
+        heartbeat_interval=2.0,
+        reliability={
+            "ack_timeout": 1.0, "backoff": 2.0, "max_attempts": 4,
+            "redelivery": True, "redelivery_interval": 2.0,
+            "redelivery_max_interval": 8.0,
+        },
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
+        slos=slos,
+    )
+    system = GridManagementSystem(spec)
+    system.collectors[0].poll_retries = 8
+    apply_fault_plan(system, FaultPlan([
+        FaultEvent(OUTAGE_AT, FaultEvent.HOST_DOWN, "stor",
+                   clear_after=OUTAGE_LEN if heal else None),
+    ]))
+    system.assign_goals(system.make_paper_goals(polls_per_type=4))
+    return system
+
+
+class TestHealthMonitorIntegration:
+    def test_slos_imply_telemetry_and_build_the_monitor(self):
+        spec = GridTopologySpec.paper_figure6c(
+            slos=[SLOSpec("ship", p=90, target=40.0)])
+        assert spec.telemetry is True
+        system = GridManagementSystem(spec)
+        assert system.health is not None
+        assert system.telemetry is not None
+        assert system.health.observe in \
+            system.telemetry.recorder.close_hooks
+
+    def test_no_slos_no_monitor_no_hooks(self):
+        spec = GridTopologySpec.paper_figure6c(telemetry=True)
+        system = GridManagementSystem(spec)
+        assert system.health is None
+        assert system.telemetry.recorder.close_hooks == []
+
+    def test_outage_trips_burn_then_heal_clears_it(self):
+        slo = SLOSpec("ship", p=90.0, target=10.0, window=120.0,
+                      fast_window=30.0)
+        system = _build_system([slo])
+        system.sim.run(until=HORIZON)
+        tracker = system.health.trackers[0]
+        assert tracker.raised >= 1
+        assert tracker.cleared == tracker.raised
+        assert not tracker.burning
+        events = [event for _, event, _, _ in tracker.events]
+        assert events[0] == "raise"
+        assert events[-1] == "clear"
+        # The raise happened while the outage was in effect (or while
+        # its parked backlog was still redelivering).
+        first_raise = tracker.events[0][0]
+        assert first_raise >= OUTAGE_AT
+
+    def test_burn_findings_ride_the_alert_path(self):
+        slo = SLOSpec("ship", p=90.0, target=10.0, window=120.0,
+                      fast_window=30.0)
+        system = _build_system([slo])
+        system.sim.run(until=HORIZON)
+        interface = system.interface
+        kinds = {finding.kind for report in interface.reports
+                 for finding in report.findings}
+        assert "slo-burn" in kinds
+        assert "slo-burn-clear" in kinds
+        # Major severity => the existing alert machinery fired.
+        alert_kinds = {alert.finding.kind for alert in interface.alerts}
+        assert "slo-burn" in alert_kinds
+        # Info severity => the clear informs without paging.
+        assert "slo-burn-clear" not in alert_kinds
+        burn = next(alert.finding for alert in interface.alerts
+                    if alert.finding.kind == "slo-burn")
+        assert burn.detail["stage"] == "ship"
+        assert burn.detail["fast_burn"] >= slo.burn_threshold
+
+    def test_stage_histograms_match_recorder_stage_latency(self):
+        slo = SLOSpec("ship", p=90.0, target=10.0, window=120.0,
+                      fast_window=30.0)
+        system = _build_system([slo])
+        system.sim.run(until=HORIZON)
+        live = system.health.stage_latency()
+        audited = system.telemetry.pipeline_report()["stage_latency"]
+        assert set(live) == set(audited)
+        for stage, stats in live.items():
+            assert stats["count"] == audited[stage]["count"]
+            assert stats["p99"] == audited[stage]["p99"]
+
+    def test_scorecards_flag_dead_container_red(self):
+        slo = SLOSpec("ship", p=90.0, target=10.0, window=120.0,
+                      fast_window=30.0)
+        system = _build_system([slo], heal=False)
+        system.sim.run(until=60.0)
+        system.analysis_containers[0].shutdown()
+        cards = system.health.scorecards()
+        card = cards["containers"][system.analysis_containers[0].name]
+        assert card["state"] == RED
+        assert any("container down" in reason for reason in card["reasons"])
+        assert cards["overall"] == RED
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        slo = SLOSpec("ship", p=90.0, target=10.0, window=120.0,
+                      fast_window=30.0)
+        system = _build_system([slo])
+        system.sim.run(until=100.0)
+        payload = system.health.snapshot()
+        json.dumps(payload)  # must not raise
+        assert payload["stage_latency"]
+        assert payload["slos"][0]["slo"]["stage"] == "ship"
+        assert payload["scorecards"]["containers"]
+        assert "reliable_channel" in payload
+
+
+class TestFederationHealthAds:
+    def test_gateways_advertise_and_collect_site_states(self):
+        from repro.core.federation import (
+            MESH, FederatedManagementSystem, FederatedTopologySpec,
+            SiteSpec)
+
+        spec = FederatedTopologySpec(
+            sites=[SiteSpec.simple("site%d" % (index + 1), device_count=2,
+                                   analyzer_count=1)
+                   for index in range(3)],
+            mode=MESH, seed=11, dataset_threshold=6,
+            heartbeat_interval=1.0)
+        system = FederatedManagementSystem(spec)
+        system.enable_health_ads()
+        system.assign_site_goals(system.make_site_goals(polls_per_type=2))
+        system.sim.run(until=40.0)
+        report = system.mesh_health_report()
+        assert set(report) == {"site1", "site2", "site3"}
+        for site, entry in report.items():
+            assert entry["self"] in (GREEN, DEGRADED, RED)
+            # Every peer heard this site's advertisement on the beacons.
+            assert set(entry["peers"]) == set(report) - {site}
+
+    def test_partitioned_peer_degrades_observers(self):
+        from repro.core.federation import (
+            MESH, FederatedManagementSystem, FederatedTopologySpec,
+            SiteSpec)
+        from repro.workloads.faults import site_partition_plan
+
+        spec = FederatedTopologySpec(
+            sites=[SiteSpec.simple("site%d" % (index + 1), device_count=2,
+                                   analyzer_count=1)
+                   for index in range(3)],
+            mode=MESH, seed=11, dataset_threshold=6,
+            heartbeat_interval=1.0)
+        system = FederatedManagementSystem(spec)
+        system.enable_health_ads()
+        apply_fault_plan(system, site_partition_plan(
+            "site3", partition_at=10.0, heal_after=None))
+        system.assign_site_goals(system.make_site_goals(polls_per_type=2))
+        system.sim.run(until=30.0)
+        # Observers hold a severed link to site3: degraded, not green.
+        assert system.site_scorecard("site1") == DEGRADED
+        assert system.site_scorecard("site2") == DEGRADED
+        # And the frozen last-heard advertisement for site3 is stale but
+        # present (the mesh's memory of the severed site).
+        report = system.mesh_health_report()
+        assert "site1" in report["site3"]["peers"]

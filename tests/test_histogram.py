@@ -1,0 +1,172 @@
+"""LatencyHistogram contracts: error bound, merge exactness, bounded state.
+
+The health layer's whole pitch rests on three properties pinned here:
+
+* any reported quantile is within 1% (relative) of the exact percentile
+  of the recorded values -- the ``sqrt(growth) - 1`` bucket bound;
+* merging is exact and order-independent (integer counter addition), so
+  per-shard / per-site histograms aggregate without error inflation;
+* memory stays bounded by the value *range*, not the value *count*.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel.histogram import LatencyHistogram
+
+#: The contract: growth=1.015 bounds relative error at sqrt(1.015)-1.
+ERROR_BOUND = 0.01
+
+latencies = st.lists(
+    st.floats(min_value=1e-6, max_value=1e5, allow_nan=False,
+              allow_infinity=False),
+    min_size=1, max_size=200,
+)
+
+
+def exact_nearest_rank(values, q):
+    """Nearest-rank percentile over the raw values (the reference)."""
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    if q == 100:
+        return ordered[-1]
+    rank = int(math.ceil(q / 100.0 * len(ordered)))
+    return ordered[max(0, rank - 1)]
+
+
+class TestQuantileError:
+    @given(latencies)
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_one_percent(self, values):
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        for q in (1, 10, 25, 50, 75, 90, 95, 99):
+            reported = histogram.quantile(q)
+            exact = exact_nearest_rank(values, q)
+            assert reported is not None
+            # Relative error against the exact nearest-rank percentile.
+            tolerance = ERROR_BOUND * max(abs(exact), 1e-12)
+            assert abs(reported - exact) <= tolerance, (
+                "q=%s reported=%r exact=%r" % (q, reported, exact))
+
+    @given(latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_edges_are_exact(self, values):
+        histogram = LatencyHistogram()
+        for value in values:
+            histogram.record(value)
+        assert histogram.quantile(0) == min(values)
+        assert histogram.quantile(100) == max(values)
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+        assert histogram.mean == pytest.approx(
+            sum(values) / len(values))
+
+    def test_random_workload_sweep(self):
+        """A denser deterministic sweep than hypothesis explores: mixed
+        log-uniform workloads at realistic sizes."""
+        rng = random.Random(7)
+        for _ in range(20):
+            values = [10 ** rng.uniform(-4, 4) for _ in range(2000)]
+            histogram = LatencyHistogram()
+            for value in values:
+                histogram.record(value)
+            for q in (50, 90, 95, 99, 99.9):
+                reported = histogram.quantile(q)
+                exact = exact_nearest_rank(values, q)
+                assert abs(reported - exact) <= ERROR_BOUND * exact
+
+
+class TestMerge:
+    @given(latencies, latencies, latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_associative_and_exact(self, a, b, c):
+        def build(values):
+            histogram = LatencyHistogram()
+            for value in values:
+                histogram.record(value)
+            return histogram
+
+        # (a + b) + c
+        left = build(a).merge(build(b)).merge(build(c))
+        # a + (b + c)
+        right = build(a).merge(build(b).merge(build(c)))
+        # one histogram fed everything (the ground truth)
+        combined = build(a + b + c)
+        # Bucket counts, extremes and cardinality merge exactly in any
+        # order; only the float running ``total`` (hence the mean) is
+        # subject to summation order, like any float accumulator.
+        for result in (left, right):
+            state, reference = result.to_dict(), combined.to_dict()
+            total = state.pop("total")
+            assert total == pytest.approx(reference.pop("total"))
+            assert state == reference
+        for q in (0, 50, 95, 100):
+            assert left.quantile(q) == right.quantile(q) == \
+                combined.quantile(q)
+
+    def test_merge_rejects_mismatched_growth(self):
+        coarse = LatencyHistogram(growth=1.1)
+        fine = LatencyHistogram(growth=1.015)
+        with pytest.raises(ValueError):
+            fine.merge(coarse)
+
+    def test_merge_rejects_non_histogram(self):
+        with pytest.raises(TypeError):
+            LatencyHistogram().merge([1, 2, 3])
+
+
+class TestStateAndSerialisation:
+    def test_bounded_memory(self):
+        """13 decades of dynamic range stay within ~2100 sparse buckets,
+        no matter how many values are recorded."""
+        histogram = LatencyHistogram()
+        rng = random.Random(3)
+        for _ in range(50_000):
+            histogram.record(10 ** rng.uniform(-6, 7))
+        assert histogram.count == 50_000
+        assert len(histogram._buckets) <= \
+            math.log(10 ** 13) / math.log(histogram.growth) + 2
+
+    def test_round_trip(self):
+        histogram = LatencyHistogram()
+        for value in (0.0, 0.001, 1.0, 250.0):
+            histogram.record(value)
+        clone = LatencyHistogram.from_dict(histogram.to_dict())
+        assert clone.to_dict() == histogram.to_dict()
+        for q in (0, 50, 99, 100):
+            assert clone.quantile(q) == histogram.quantile(q)
+
+    def test_zero_and_validation(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0)
+        histogram.record(0.0)
+        histogram.record(5.0)
+        assert histogram.quantile(50) == 0.0
+        assert histogram.quantile(100) == 5.0
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(101)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(50) is None
+        assert histogram.mean is None
+        assert len(histogram) == 0
+        assert histogram.summary()["count"] == 0
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(1.0)
+        summary = histogram.summary(qs=(50, 99.9))
+        assert set(summary) == {"count", "mean", "min", "max",
+                                "p50", "p99.9"}

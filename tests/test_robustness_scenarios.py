@@ -42,7 +42,7 @@ GIVE_UP_AFTER = 60.0  # no-heal cells settle into "gave-up", not "parked"
 HORIZON = 400.0
 
 
-def _build(reliability, telemetry):
+def _build(reliability, telemetry, slos=(), heartbeat_interval=None):
     channel = False
     if reliability:
         channel = {
@@ -69,6 +69,8 @@ def _build(reliability, telemetry):
         reliability=channel,
         wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
         telemetry=telemetry,
+        slos=slos,
+        heartbeat_interval=heartbeat_interval,
     )
     return GridManagementSystem(spec)
 
@@ -281,3 +283,57 @@ class TestMeshPartitionHeal:
             assert pipeline["complete"] == pipeline["batches"]
         else:
             assert system.telemetry is None
+
+
+class TestScorecardFlip:
+    """A mid-run analysis-host kill flips that container's scorecard RED
+    on the health layer; the heal flips it back to GREEN.
+
+    Note: ``host_down`` with ``clear_after`` models the reboot --
+    ``container_down`` is permanent by design (killed containers never
+    resurrect) and so cannot exercise the red -> green edge.
+    """
+
+    KILL_AT = 50.0
+    KILL_LEN = 60.0
+
+    def _card_for_host(self, system, host_name):
+        cards = system.health.scorecards()["containers"]
+        matches = [card for card in cards.values()
+                   if card["host"] == host_name]
+        assert len(matches) == 1
+        return matches[0]
+
+    def test_analysis_kill_flips_red_then_heal_flips_green(self):
+        from repro.core.health import GREEN, RED, SLOSpec
+
+        slo = SLOSpec("ship", p=90.0, target=40.0, window=120.0,
+                      fast_window=30.0)
+        system = _build(True, telemetry=True, slos=[slo],
+                        heartbeat_interval=2.0)
+        system.collectors[0].poll_retries = 8
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(self.KILL_AT, FaultEvent.HOST_DOWN, "inf1",
+                       clear_after=self.KILL_LEN),
+        ]))
+        system.assign_goals(system.make_paper_goals(polls_per_type=4))
+
+        # Before the kill: everything green.
+        system.sim.run(until=self.KILL_AT - 1.0)
+        assert self._card_for_host(system, "inf1")["state"] == GREEN
+
+        # Mid-outage: the dead host's container shows red with at least
+        # one structural reason (host down / evicted / stale beacons).
+        system.sim.run(until=self.KILL_AT + self.KILL_LEN / 2.0)
+        card = self._card_for_host(system, "inf1")
+        assert card["state"] == RED
+        assert card["reasons"]
+
+        # After the reboot and recovery window: green again, and the
+        # eviction bookkeeping confirms a true round trip.
+        system.sim.run(until=HORIZON)
+        card = self._card_for_host(system, "inf1")
+        assert card["state"] == GREEN, card["reasons"]
+        root = system.root
+        assert root.containers_evicted >= 1
+        assert root.containers_recovered >= 1

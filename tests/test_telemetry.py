@@ -653,3 +653,112 @@ class TestStreamingTrace:
         assert _run(reference)
         assert (system.utilization_report().render()
                 == reference.utilization_report().render())
+
+
+class TestCloseHooks:
+    def test_hooks_fire_on_end_with_final_span_state(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        seen = []
+        recorder.close_hooks.append(
+            lambda span: seen.append((span.name, span.status,
+                                      span.duration)))
+        span = recorder.start("ship", recorder.new_trace())
+        assert seen == []  # start is not a close
+        clock.now = 2.0
+        recorder.end(span, status="dead-letter")
+        assert seen == [("ship", "dead-letter", 2.0)]
+        # First-end-wins: a duplicate end must not re-fire the hook.
+        clock.now = 9.0
+        recorder.end(span.span_id, status="ok")
+        assert len(seen) == 1
+
+    def test_multiple_hooks_fire_in_registration_order(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        order = []
+        recorder.close_hooks.append(lambda span: order.append("first"))
+        recorder.close_hooks.append(lambda span: order.append("second"))
+        recorder.end(recorder.start("collect", recorder.new_trace()))
+        assert order == ["first", "second"]
+
+
+class TestStageLatency:
+    def test_histograms_cover_closed_pipeline_spans_only(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        trace = recorder.new_trace()
+        ship = recorder.start("ship", trace)
+        clock.now = 4.0
+        recorder.end(ship)
+        recorder.start("classify", trace)      # left open
+        recorder.end(recorder.start("bootstrap", trace))  # not a stage
+        report = recorder.stage_latency()
+        assert set(report) == {"ship"}
+        assert report["ship"]["count"] == 1
+        assert report["ship"]["p99"] == pytest.approx(4.0, rel=0.01)
+
+    def test_pipeline_report_carries_the_section(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        recorder.end(recorder.start("collect", recorder.new_trace()))
+        report = recorder.pipeline_report()
+        assert "stage_latency" in report
+        assert set(report["stage_latency"]) == {"collect"}
+
+
+class TestCriticalPath:
+    def _chain(self, recorder, clock, durations, trace=None):
+        """Build a parent->child chain with the given durations."""
+        trace = trace if trace is not None else recorder.new_trace()
+        parent = None
+        spans = []
+        for index, duration in enumerate(durations):
+            start = clock.now
+            span = recorder.start("stage%d" % index, trace, parent=parent)
+            clock.now = start + duration
+            recorder.end(span)
+            spans.append(span)
+            parent = span
+        return trace, spans
+
+    def test_picks_the_heaviest_root_to_leaf_chain(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        trace = recorder.new_trace()
+        root = recorder.start("ship", trace)
+        clock.now = 1.0
+        recorder.end(root)
+        light = recorder.start("classify", trace, parent=root)
+        clock.now = 1.5
+        recorder.end(light)
+        heavy = recorder.start("dispatch", trace, parent=root)
+        clock.now = 9.0
+        recorder.end(heavy)
+        tail = recorder.start("analyze", trace, parent=heavy)
+        clock.now = 12.0
+        recorder.end(tail)
+        path = recorder.critical_path(trace)
+        assert [span.name for span in path] == \
+            ["ship", "dispatch", "analyze"]
+
+    def test_unknown_trace_is_empty(self):
+        recorder = SpanRecorder(_Clock())
+        assert recorder.critical_path(999) == []
+
+    def test_slowest_traces_rank_by_critical_path_total(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        slow_trace, _ = self._chain(recorder, clock, [5.0, 5.0])
+        fast_trace, _ = self._chain(recorder, clock, [1.0])
+        rows = recorder.slowest_traces(limit=5)
+        assert [row[0] for row in rows] == [slow_trace, fast_trace]
+        assert rows[0][1] == pytest.approx(10.0)
+        assert [span.name for span in rows[0][2]] == ["stage0", "stage1"]
+
+    def test_slowest_traces_respects_limit(self):
+        clock = _Clock()
+        recorder = SpanRecorder(clock)
+        for _ in range(4):
+            self._chain(recorder, clock, [1.0])
+        assert len(recorder.slowest_traces(limit=2)) == 2
