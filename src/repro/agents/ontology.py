@@ -214,6 +214,25 @@ FORWARDED_RESULT = Ontology(
     },
 )
 
+#: Peer-to-peer liveness digest (analyzer <-> analyzer / grid root).
+#: ``digest`` maps member name -> ``[status, incarnation, last_heard]``
+#: (the SWIM-style suspicion view; see :mod:`repro.core.gossip`).
+#: ``kind`` selects the exchange: ``"digest"`` (periodic push),
+#: ``"ping"`` (direct probe of a suspect), ``"ping-req"`` (ask a third
+#: peer to probe ``subject`` indirectly) and ``"ack"`` (probe answer,
+#: digest attached so the answer doubles as an anti-entropy round).
+GOSSIP = Ontology(
+    "gossip",
+    fields={
+        "kind": str,
+        "origin": str,
+        "digest": dict,
+        "sent_at": (int, float),
+        "subject": str,
+    },
+    optional=("digest", "subject"),
+)
+
 #: Degradation notice (gateway -> local interface): a peer site changed
 #: link state, so its devices are now offline (partitioned) or back
 #: online (healed).  Never silently stale: the interface exposes this via
@@ -232,7 +251,7 @@ REGISTRY = {
     ontology.name: ontology
     for ontology in (
         CONTAINER_PROFILE, DATA_READY, ANALYSIS_JOB, ANALYSIS_RESULT,
-        HEARTBEAT, JOB_CFP, JOB_PROPOSAL, MANAGEMENT_REPORT,
+        HEARTBEAT, JOB_CFP, JOB_PROPOSAL, MANAGEMENT_REPORT, GOSSIP,
         SITE_HEARTBEAT, FORWARDED_JOB, FORWARDED_RESULT, SITE_STATUS,
     )
 }

@@ -8,6 +8,7 @@ Installed as the ``repro-sim`` console script::
     repro-sim federation --mode integrated
     repro-sim quickstart --json out.json
     repro-sim trace --out trace.json --metrics metrics.json
+    repro-sim chaos --scenario split_brain --report report.json
 
 Every subcommand prints the paper-style tables; ``--json PATH`` also dumps
 machine-readable results.
@@ -506,6 +507,174 @@ def _cmd_slo(args):
     return 0
 
 
+#: Per-scenario run horizons: the flash crowd's 20x backlog (360 jobs)
+#: takes ~1500s to drain through the shared storage-host pipeline.
+_CHAOS_HORIZONS = {"flash_crowd": 2000.0}
+_CHAOS_DEFAULT_HORIZON = 400.0
+
+
+def _build_chaos_system(scenario, seed, analysis_hosts=4):
+    """The chaos-matrix topology (same as tests/test_robustness_scenarios):
+    one field collector host, N mgmt analysis hosts, storage+interface on
+    mgmt, the scenario's spec overrides merged in."""
+    from repro.core.system import (
+        GridManagementSystem, GridTopologySpec, HostSpec)
+    from repro.network.topology import LinkSpec
+    from repro.workloads.faults import apply_fault_plan
+
+    spec = GridTopologySpec(
+        devices=scenario.devices,
+        collector_hosts=[HostSpec("col1", "field")],
+        analysis_hosts=[HostSpec("inf%d" % (index + 1), "mgmt")
+                        for index in range(analysis_hosts)],
+        storage_host=HostSpec("stor", "mgmt"),
+        interface_host=HostSpec("iface", "mgmt"),
+        seed=seed,
+        dataset_threshold=4,
+        policy="round-robin",
+        job_timeout=40.0,
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
+        **scenario.spec_overrides
+    )
+    system = GridManagementSystem(spec)
+    system.collectors[0].poll_retries = 8
+    if scenario.fault_plan is not None:
+        apply_fault_plan(system, scenario.fault_plan)
+    system.assign_goals(scenario.build_goals(seed=seed))
+    return system
+
+
+def _chaos_tier_violations(system, tier):
+    """The invariant-tier ladder as a violation list (empty = upheld)."""
+    from repro.workloads.scenarios import (
+        INVARIANT_TIERS, TIER_DETECTION_SURVIVES, TIER_HEAL_COMPLETE,
+        TIER_NO_SILENT_LOSS)
+
+    violations = []
+    shipped = system.collectors[0].records_shipped
+    classified = system.classifier.records_classified
+    if shipped == 0:
+        return ["no records shipped -- the run is vacuous"]
+    rank = INVARIANT_TIERS.index(tier)
+    if rank < INVARIANT_TIERS.index(TIER_NO_SILENT_LOSS):
+        return violations
+    channel = system.reliable_channel
+    dead = 0
+    if channel is not None:
+        for letter in channel.dead_letters:
+            acl = letter.message.payload
+            if getattr(acl, "ontology", None) == "collected-batch":
+                dead += len(acl.content["records"])
+    if classified + dead < shipped:
+        violations.append(
+            "silent loss: shipped %d > classified %d + dead-lettered %d"
+            % (shipped, classified, dead))
+    if rank < INVARIANT_TIERS.index(TIER_HEAL_COMPLETE):
+        return violations
+    if classified != shipped:
+        violations.append("not heal-complete: classified %d != shipped %d"
+                          % (classified, shipped))
+    if channel is not None:
+        if channel.parked_count():
+            violations.append("%d envelope(s) still parked"
+                              % channel.parked_count())
+        if channel.pending_count():
+            violations.append("%d envelope(s) still pending"
+                              % channel.pending_count())
+        if channel.permanently_dead():
+            violations.append("%d envelope(s) permanently dead"
+                              % len(channel.permanently_dead()))
+    if not system.root.datasets:
+        violations.append("no datasets reached the root")
+    elif not all(state.finished for state in system.root.datasets.values()):
+        violations.append("unfinished dataset(s) at the root")
+    if rank < INVARIANT_TIERS.index(TIER_DETECTION_SURVIVES):
+        return violations
+    if system.gossip is None:
+        violations.append("tier requires gossip= but no mesh was built")
+    elif not system.gossip.detection_times():
+        violations.append("gossip never confirmed the root dead -- "
+                          "detection did not survive the outage")
+    return violations
+
+
+def _cmd_chaos(args):
+    """Run a catalog chaos scenario and gate its invariant tier."""
+    from repro.workloads.scenarios import SCENARIO_CATALOG, catalog_scenario
+
+    if args.list:
+        for name in sorted(SCENARIO_CATALOG):
+            scenario = catalog_scenario(name)
+            print("%-16s %-30s %s" % (name, scenario.expected_tier,
+                                      scenario.description))
+        return 0
+    if not args.scenario:
+        print("chaos: --scenario NAME is required (--list shows the "
+              "catalog)")
+        return 2
+    try:
+        scenario = catalog_scenario(args.scenario)
+    except KeyError as error:
+        print("chaos: %s" % error.args[0])
+        return 2
+    horizon = args.horizon if args.horizon is not None else \
+        _CHAOS_HORIZONS.get(scenario.name, _CHAOS_DEFAULT_HORIZON)
+    system = _build_chaos_system(scenario, args.seed,
+                                 analysis_hosts=args.analysis_hosts)
+    system.sim.run(until=horizon)
+
+    shipped = system.collectors[0].records_shipped
+    classified = system.classifier.records_classified
+    rows = [
+        ("expected tier", scenario.expected_tier),
+        ("records shipped / classified", "%d / %d" % (shipped, classified)),
+        ("datasets finished", sum(
+            1 for state in system.root.datasets.values() if state.finished)),
+        ("reports", len(system.interface.reports)),
+        ("containers evicted", system.root.containers_evicted),
+        ("jobs re-dispatched", system.root.jobs_redispatched),
+    ]
+    detection = {}
+    stand_ins = []
+    if system.gossip is not None:
+        detection = system.gossip.detection_times()
+        stand_ins = sorted({who for who
+                            in system.gossip.stand_ins().values()
+                            if who is not None})
+        rows.append(("gossip detections", ", ".join(
+            "%s@%.1fs" % (name, at)
+            for name, at in sorted(detection.items())) or "none"))
+        rows.append(("stand-ins elected", ", ".join(stand_ins) or "none"))
+    print(format_table(("metric", "value"), rows,
+                       title="chaos drill: %s (horizon %gs, seed %d)" % (
+                           scenario.name, horizon, args.seed)))
+    violations = _chaos_tier_violations(system, scenario.expected_tier)
+    if args.report:
+        export.dump_json({
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "expected_tier": scenario.expected_tier,
+            "horizon": horizon,
+            "seed": args.seed,
+            "records_shipped": shipped,
+            "records_classified": classified,
+            "reports": len(system.interface.reports),
+            "containers_evicted": system.root.containers_evicted,
+            "jobs_redispatched": system.root.jobs_redispatched,
+            "gossip_detections": detection,
+            "stand_ins": stand_ins,
+            "violations": violations,
+        }, args.report)
+        print("report written to %s" % args.report)
+    if violations:
+        for violation in violations:
+            print("FAIL: %s" % violation)
+        return 1
+    print("PASS: scenario %r upheld tier %r"
+          % (scenario.name, scenario.expected_tier))
+    return 0
+
+
 def _cmd_crossover(args):
     from repro.evaluation.experiments import crossover_experiment
     from repro.workloads.scenarios import crossover_scenarios
@@ -706,6 +875,26 @@ def build_parser():
     slo.add_argument("--report", metavar="PATH", default=None,
                      help="write the CI-consumable JSON health report here")
     slo.set_defaults(handler=_cmd_slo)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a catalog chaos scenario; exit 1 if its "
+                      "invariant tier is violated")
+    _add_common(chaos)
+    chaos.add_argument("--scenario", metavar="NAME", default=None,
+                       help="catalog scenario name (see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="print the scenario catalog and exit")
+    chaos.add_argument("--horizon", type=float, default=None,
+                       help="simulated seconds to run (default: per-"
+                            "scenario, %g unless noted)"
+                            % _CHAOS_DEFAULT_HORIZON)
+    chaos.add_argument("--analysis-hosts", type=int, default=4,
+                       help="analysis hosts in the matrix topology "
+                            "(default 4)")
+    chaos.add_argument("--report", metavar="PATH", default=None,
+                       help="write the CI-consumable JSON scenario report "
+                            "here")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     crossover = subparsers.add_parser(
         "crossover", help="sweep workload volume across architectures")

@@ -212,6 +212,11 @@ class ProcessorRootAgent(Agent):
         self.heartbeats_received = 0
         self.containers_evicted = 0
         self.containers_recovered = 0
+        #: Results that arrived for an already-settled job id -- normally
+        #: a re-dispatch race, but after a split-brain heal also the
+        #: gossip stand-in's buffer flush colliding with the Reaper's
+        #: re-dispatch.  Counted (exactly-once audit), never re-applied.
+        self.duplicate_results = 0
 
     def setup(self):
         if self.directory is None:
@@ -544,6 +549,7 @@ class ProcessorRootAgent(Agent):
         content = ANALYSIS_RESULT.validate(message.content)
         job = self.jobs.get(content["job_id"])
         if job is None or job.done:
+            self.duplicate_results += 1
             return  # late duplicate from a re-dispatched job
         job.done = True
         if job.span is not None:
@@ -930,6 +936,11 @@ class AnalyzerAgent(Agent):
         self.fetch_attempts = 0
         self.fetch_retries_used = 0
         self.fetch_failures = 0
+        #: Optional :class:`repro.core.gossip.AnalyzerGossip` component;
+        #: installed by the mesh when the spec enables ``gossip=``.  None
+        #: in every default build -- the single branch below is the whole
+        #: cost of the feature when disabled.
+        self.gossip = None
 
     def setup(self):
         self.responder = ContractNetResponder(self)
@@ -1036,14 +1047,20 @@ class AnalyzerAgent(Agent):
         # Reply to whoever sent the REQUEST -- normally the grid root, but
         # a site gateway dispatching a forwarded job needs the result back
         # at the gateway so it can return it across the site boundary.
-        self.send(ACLMessage(
-            Performative.INFORM,
-            sender=self.name,
-            receiver=str(message.sender),
-            content=dict(result),
-            ontology=ANALYSIS_RESULT.name,
-            size_units=self.cost_model.notify_size + 0.1 * len(findings),
-        ))
+        # While the gossip mesh has the root confirmed dead, the result is
+        # rerouted to the elected stand-in dispatcher instead of being
+        # dropped on the severed link (reconciled on heal).
+        receiver = str(message.sender)
+        if not (self.gossip is not None
+                and self.gossip.intercept_result(dict(result), receiver)):
+            self.send(ACLMessage(
+                Performative.INFORM,
+                sender=self.name,
+                receiver=receiver,
+                content=dict(result),
+                ontology=ANALYSIS_RESULT.name,
+                size_units=self.cost_model.notify_size + 0.1 * len(findings),
+            ))
         if span is not None:
             telemetry.recorder.end(
                 span, findings=len(findings), records=analyzed,

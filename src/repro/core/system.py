@@ -98,6 +98,15 @@ class GridTopologySpec:
             registry); a dict supplies its keyword arguments
             (``capacity``, ``profile``).  Telemetry is passive -- the
             simulation's behaviour and outputs are identical either way.
+        gossip: ``False`` (default) builds no mesh -- zero behaviours,
+            events or messages, preserving byte-identical paper runs.
+            ``True`` installs a :class:`~repro.core.gossip.GossipMesh`:
+            analyzer containers exchange SWIM-style suspicion digests so
+            failure detection survives the loss of the root host
+            (split-brain), elect a stand-in dispatcher for results that
+            would be lost against the dead root, and reconcile on heal.
+            A dict supplies mesh keyword arguments (``interval``,
+            ``suspect_after``, ``confirm_after``).
         slos: iterable of :class:`~repro.core.health.SLOSpec` latency
             objectives.  Declaring any builds a
             :class:`~repro.core.health.HealthMonitor` (and implies
@@ -154,6 +163,7 @@ class GridTopologySpec:
         heartbeat_interval=None,
         heartbeat_timeout=None,
         telemetry=False,
+        gossip=False,
         slos=(),
         shards=1,
         shard_vnodes=64,
@@ -216,6 +226,7 @@ class GridTopologySpec:
             heartbeat_timeout = 4.0 * heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.telemetry = telemetry
+        self.gossip = gossip
         # SLOs need the span feed; declaring any implies telemetry.
         self.slos = tuple(slos)
         if self.slos and not self.telemetry:
@@ -315,6 +326,18 @@ class GridManagementSystem:
         self._build_interface()
         self._build_processor_grid()
         self._build_collector_grid()
+        # The gossip mesh is strictly opt-in: when the spec leaves it off,
+        # no behaviours, events or messages exist (byte-identity contract,
+        # pinned by the figure-6 double-run test).
+        self.gossip = None
+        if spec.gossip:
+            from repro.core.gossip import GossipMesh
+
+            gossip_kwargs = (
+                dict(spec.gossip) if isinstance(spec.gossip, dict) else {}
+            )
+            self.gossip = GossipMesh(
+                self.root, self.analyzers, **gossip_kwargs)
         if self.telemetry is not None:
             self._wire_telemetry()
         # The health layer only exists when SLOs are declared: its checker
@@ -581,9 +604,14 @@ class GridManagementSystem:
                 "heartbeats_received": root.heartbeats_received,
                 "containers_evicted": root.containers_evicted,
                 "containers_recovered": root.containers_recovered,
+                "duplicate_results": root.duplicate_results,
             },
             grid="processor", host=root.host.name, agent=root.name,
         )
+        if self.gossip is not None:
+            telemetry.register_source(
+                self.gossip.stats, grid="processor", agent="gossip-mesh",
+            )
         for analyzer in self.analyzers:
             telemetry.register_source(
                 lambda a=analyzer: {

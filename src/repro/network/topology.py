@@ -168,6 +168,12 @@ class Network:
         #: transport only consults :meth:`severed` when this is non-empty,
         #: so the partition machinery costs nothing when unused.
         self.partitioned_sites = set()
+        #: Host names forming a partition *island* (see
+        #: :meth:`partition_hosts`).  Traffic crossing the island boundary
+        #: is severed; traffic wholly inside or wholly outside still
+        #: flows.  Empty in every healthy run, same cheap gating as
+        #: :attr:`partitioned_sites`.
+        self.partitioned_hosts = set()
 
     def add_site(self, name, lan=None):
         if name in self.sites:
@@ -237,15 +243,52 @@ class Network:
             or dst.site.name in self.partitioned_sites
         )
 
+    # -- host-island partitions (split-brain) ------------------------------
+
+    def partition_hosts(self, host_names):
+        """Isolate an *island* of hosts from everything outside it.
+
+        The classic split-brain cut: hosts inside the island keep talking
+        to each other, hosts outside keep talking to each other, but any
+        traffic crossing the boundary is dropped.  Unlike
+        :meth:`partition_site` this cuts *within* a site too -- it is how
+        the scenario catalog severs the processor-grid root from half of
+        its analyzer containers while both halves stay internally healthy.
+        Every host stays ``up``; only detection layered above (gossip,
+        heartbeats) can see the cut.  Idempotent; a second call replaces
+        the island.
+        """
+        names = set(host_names)
+        unknown = names - set(self.hosts)
+        if unknown:
+            raise KeyError("unknown hosts %s" % sorted(unknown))
+        self.partitioned_hosts = names
+
+    def heal_hosts(self):
+        """Dissolve the host island.  Idempotent."""
+        self.partitioned_hosts = set()
+
+    def host_severed(self, src, dst):
+        """True if src -> dst traffic crosses the island boundary."""
+        if not self.partitioned_hosts:
+            return False
+        return (src.name in self.partitioned_hosts) != (
+            dst.name in self.partitioned_hosts)
+
     def severed_between(self, src_name, dst_name):
-        """Name-based :meth:`severed` for callers that hold host names."""
-        if not self.partitioned_sites:
+        """Name-based reachability check for callers that hold host names.
+
+        Covers both partition families (site cuts and host islands) so
+        the reliable channel's heal probe backs off while *either* kind
+        of cut is live, instead of churning re-ship rounds into it.
+        """
+        if not self.partitioned_sites and not self.partitioned_hosts:
             return False
         src = self.hosts.get(src_name)
         dst = self.hosts.get(dst_name)
         if src is None or dst is None:
             return False
-        return self.severed(src, dst)
+        return self.severed(src, dst) or self.host_severed(src, dst)
 
     def __repr__(self):
         return "Network(sites=%d, hosts=%d)" % (len(self.sites), len(self.hosts))

@@ -399,6 +399,12 @@ class Transport:
         if self.network.partitioned_sites and self.network.severed(batch.src, dst):
             self._finish(batch, index, "site partitioned")
             return
+        # Host-island partitions (split-brain) sever at the same edge,
+        # under the same empty-set gating.
+        if self.network.partitioned_hosts and \
+                self.network.host_severed(batch.src, dst):
+            self._finish(batch, index, "host partitioned")
+            return
         if not dst.up:
             self._finish(batch, index, "destination host down")
             return

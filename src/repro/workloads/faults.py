@@ -17,7 +17,12 @@ Faults injected in experiments fall into three families:
   hosts stay up and keep talking over the LAN); ``site_partition_heal``
   restores it.  The federation mesh is expected to *detect* the partition
   within its heartbeat timeout, degrade the peer's devices to offline,
-  and converge back after the heal.
+  and converge back after the heal.  ``host_partition`` cuts a split-brain
+  *island*: the listed hosts keep talking to each other, everyone else
+  keeps talking to each other, and only cross-boundary traffic drops
+  (``host_partition_heal`` dissolves it).  The analyzer gossip mesh is
+  expected to converge on a suspicion view inside each half and reconcile
+  on heal (see :mod:`repro.core.gossip`).
 
 ``container_down`` kills exactly one container (its agents stop; the host
 and its other containers stay up).  Killing the whole machine is
@@ -34,15 +39,16 @@ class FaultEvent:
             "disk_filling", "interface_down"), "container_down",
             "agent_down", "host_down" or "link_loss_burst".
         target: device / container / agent / host name, a site name for
-            "site_partition"/"site_partition_heal", or -- for
+            "site_partition"/"site_partition_heal", a list/tuple of host
+            names (the island) for "host_partition", or -- for
             "link_loss_burst" -- "wan" or a site name.
         interface: interface index ("interface_down" only).
         clear_after: optional duration after which the fault self-clears
             (device faults, "host_down" recovery, burst end, partition
             auto-heal).  Rejected for "container_down"/"agent_down":
             killed containers and agents do not resurrect; deploy a new
-            one instead.  Rejected for "site_partition_heal": a heal is
-            instantaneous.
+            one instead.  Rejected for "site_partition_heal"/
+            "host_partition_heal": a heal is instantaneous.
         loss_rate: the burst loss probability ("link_loss_burst" only).
     """
 
@@ -54,8 +60,11 @@ class FaultEvent:
     LINK_LOSS_BURST = "link_loss_burst"
     SITE_PARTITION = "site_partition"
     SITE_PARTITION_HEAL = "site_partition_heal"
+    HOST_PARTITION = "host_partition"
+    HOST_PARTITION_HEAL = "host_partition_heal"
     INFRA_KINDS = (CONTAINER_DOWN, AGENT_DOWN, HOST_DOWN)
-    NETWORK_KINDS = (LINK_LOSS_BURST, SITE_PARTITION, SITE_PARTITION_HEAL)
+    NETWORK_KINDS = (LINK_LOSS_BURST, SITE_PARTITION, SITE_PARTITION_HEAL,
+                     HOST_PARTITION, HOST_PARTITION_HEAL)
     KINDS = DEVICE_KINDS + INFRA_KINDS + NETWORK_KINDS
 
     def __init__(self, at, kind, target, interface=None, clear_after=None,
@@ -72,13 +81,20 @@ class FaultEvent:
                 raise ValueError(
                     "%s does not support clear_after (killed containers/"
                     "agents do not resurrect)" % kind)
-            if kind == self.SITE_PARTITION_HEAL:
+            if kind in (self.SITE_PARTITION_HEAL, self.HOST_PARTITION_HEAL):
                 raise ValueError(
-                    "site_partition_heal does not support clear_after "
-                    "(a heal is instantaneous; schedule another "
-                    "site_partition instead)")
+                    "%s does not support clear_after (a heal is "
+                    "instantaneous; schedule another partition instead)"
+                    % kind)
             if clear_after <= 0:
                 raise ValueError("clear_after must be > 0")
+        if kind == self.HOST_PARTITION:
+            if not isinstance(target, (list, tuple, set, frozenset)) \
+                    or not target:
+                raise ValueError(
+                    "host_partition target must be a non-empty list of "
+                    "host names (the island)")
+            target = tuple(sorted(target))
         if kind == self.LINK_LOSS_BURST:
             if loss_rate is None:
                 raise ValueError("link_loss_burst requires loss_rate=")
@@ -99,21 +115,66 @@ class FaultEvent:
 
 
 class FaultPlan:
-    """A list of fault events applied to a running system."""
+    """A list of fault events applied to a running system.
+
+    The plan validates *kill-window coherence* on construction and on
+    every :meth:`add`: two ``host_down`` events on the same host whose
+    down-windows overlap must agree on when the host comes back.
+    Overlapping windows with incompatible ``clear_after`` would race the
+    scheduled :meth:`Host.recover` calls -- the earlier recovery would
+    resurrect the host in the middle of the later window, silently
+    turning a designed outage into a flap.  Sequential (non-overlapping)
+    windows on the same host are fine: that is exactly the
+    rolling-upgrade pattern.
+    """
 
     def __init__(self, events=()):
         self.events = sorted(events, key=lambda event: event.at)
+        self._validate_kill_windows(self.events)
 
     def add(self, event):
+        self._validate_kill_windows(self.events + [event])
         self.events.append(event)
         self.events.sort(key=lambda item: item.at)
         return event
+
+    @staticmethod
+    def _validate_kill_windows(events):
+        windows = {}  # host -> [(start, end_or_None)]
+        for event in events:
+            if event.kind != FaultEvent.HOST_DOWN:
+                continue
+            start = event.at
+            end = None if event.clear_after is None \
+                else event.at + event.clear_after
+            for other_start, other_end in windows.get(event.target, ()):
+                latest_start = max(start, other_start)
+                earliest_end = min(
+                    end if end is not None else float("inf"),
+                    other_end if other_end is not None else float("inf"),
+                )
+                if latest_start >= earliest_end:
+                    continue  # disjoint (or merely touching) windows
+                if end != other_end:
+                    raise ValueError(
+                        "overlapping host_down windows on %r with "
+                        "incompatible clear_after: [%g, %s) vs [%g, %s) -- "
+                        "the earlier recovery would resurrect the host "
+                        "inside the later window" % (
+                            event.target,
+                            other_start, _window_end(other_end),
+                            start, _window_end(end)))
+            windows.setdefault(event.target, []).append((start, end))
 
     def __len__(self):
         return len(self.events)
 
     def __iter__(self):
         return iter(self.events)
+
+
+def _window_end(end):
+    return "inf" if end is None else "%g" % end
 
 
 def chaos_plan(container="analysis-1", collector_host=None,
@@ -183,6 +244,69 @@ def site_partition_plan(site, partition_at=15.0, heal_after=25.0):
     ])
 
 
+def split_brain_plan(island_hosts, partition_at=15.0, heal_after=30.0):
+    """Cut a split-brain island (e.g. the root's host plus half the
+    analyzer hosts) out of the network, then heal it.
+
+    Both halves stay internally healthy -- every host is ``up`` -- so
+    only detection layered above the transport (gossip suspicion,
+    heartbeat eviction) can observe the cut.  The window should exceed
+    the gossip mesh's ``suspect_after + confirm_after`` so both halves
+    converge on their suspicion views before the heal.
+    """
+    return FaultPlan([
+        FaultEvent(partition_at, FaultEvent.HOST_PARTITION,
+                   tuple(island_hosts), clear_after=heal_after),
+    ])
+
+
+def cascade_plan(hosts, start_at=10.0, stagger=6.0, down_duration=15.0):
+    """Rolling host failures correlated with load: each host fails
+    ``stagger`` after the previous one, so the down-windows *overlap* --
+    at the cascade's peak several hosts are dark at once and the
+    survivors absorb the load.  Windows on different hosts may overlap
+    freely; the plan validator only rejects incoherent windows on the
+    same host.
+    """
+    if stagger <= 0:
+        raise ValueError("stagger must be > 0")
+    return FaultPlan([
+        FaultEvent(start_at + index * stagger, FaultEvent.HOST_DOWN, host,
+                   clear_after=down_duration)
+        for index, host in enumerate(hosts)
+    ])
+
+
+def rolling_upgrade_plan(hosts, start_at=10.0, wave_gap=None,
+                         restart_duration=5.0, waves=1):
+    """Staggered restart waves: each wave bounces every host once
+    (``host_down`` + recovery models the reboot, as in the robustness
+    scorecard), waiting for one restart to finish before the next
+    begins -- the disciplined upgrade that never takes two hosts down
+    together, in contrast to :func:`cascade_plan`.
+    """
+    if restart_duration <= 0:
+        raise ValueError("restart_duration must be > 0")
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    if wave_gap is None:
+        wave_gap = 2.0 * restart_duration
+    if wave_gap <= restart_duration:
+        raise ValueError(
+            "wave_gap (%g) must exceed restart_duration (%g): the next "
+            "restart must not begin until the previous host is back"
+            % (wave_gap, restart_duration))
+    events = []
+    at = start_at
+    for _ in range(waves):
+        for host in hosts:
+            events.append(FaultEvent(
+                at, FaultEvent.HOST_DOWN, host,
+                clear_after=restart_duration))
+            at += wave_gap
+    return FaultPlan(events)
+
+
 def apply_fault_plan(system, plan):
     """Schedule every fault in ``plan`` on a built grid system.
 
@@ -228,6 +352,18 @@ def apply_fault_plan(system, plan):
             else:
                 system.sim.schedule(
                     event.at, system.network.heal_site, (event.target,))
+        elif event.kind == FaultEvent.HOST_PARTITION:
+            unknown = set(event.target) - set(system.network.hosts)
+            if unknown:
+                raise KeyError("unknown hosts %s" % sorted(unknown))
+            system.sim.schedule(
+                event.at, system.network.partition_hosts, (event.target,))
+            if event.clear_after is not None:
+                system.sim.schedule(
+                    event.at + event.clear_after,
+                    system.network.heal_hosts, ())
+        elif event.kind == FaultEvent.HOST_PARTITION_HEAL:
+            system.sim.schedule(event.at, system.network.heal_hosts, ())
         elif event.kind == FaultEvent.LINK_LOSS_BURST:
             _resolve_link(system.network, event.target)  # fail loudly now
             system.sim.schedule(

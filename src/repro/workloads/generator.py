@@ -118,7 +118,9 @@ class WorkloadGenerator:
         return goals
 
     def diurnal_goals(self, mix, device_names, day_length,
-                      peak_fraction=0.7, peak_start=0.25, peak_end=0.75):
+                      peak_fraction=0.7, peak_start=0.25, peak_end=0.75,
+                      spike_multiplier=1.0, spike_start=0.5,
+                      spike_length=0.05):
         """A day/night pattern: most requests land in the busy window.
 
         Args:
@@ -127,10 +129,20 @@ class WorkloadGenerator:
             day_length: simulated seconds in one day.
             peak_fraction: share of requests inside the peak window.
             peak_start / peak_end: peak window as fractions of the day.
+            spike_multiplier: flash-crowd factor.  1.0 (default) is the
+                plain diurnal curve; above 1.0, ``(multiplier - 1) x``
+                the mix's per-type count of *extra* requests lands
+                uniformly inside the spike window -- traffic through
+                that window is roughly ``spike_multiplier`` times the
+                baseline.  The capacity-study knob for 10-100x crowds.
+            spike_start / spike_length: spike window as fractions of the
+                day (only consulted when ``spike_multiplier > 1``).
 
         Off-peak requests spread uniformly over the remaining hours.
         Useful for capacity studies: the grid must absorb the peak without
-        provisioning for it all day.
+        provisioning for it all day.  At the default multiplier the spike
+        branch draws **zero** RNG samples, so pre-existing diurnal runs
+        replay byte-identically.
         """
         if day_length <= 0:
             raise ValueError("day_length must be positive")
@@ -138,6 +150,11 @@ class WorkloadGenerator:
             raise ValueError("peak_fraction must be within [0, 1]")
         if not 0.0 <= peak_start < peak_end <= 1.0:
             raise ValueError("peak window fractions out of order")
+        if spike_multiplier < 1.0:
+            raise ValueError("spike_multiplier must be >= 1")
+        if spike_multiplier > 1.0:
+            if not 0.0 <= spike_start < spike_start + spike_length <= 1.0:
+                raise ValueError("spike window out of range")
         device_names = sorted(device_names)
         goals = []
         for request_type in ("A", "B", "C"):
@@ -160,5 +177,18 @@ class WorkloadGenerator:
                     interval=1.0,
                     start_after=start,
                 ))
+            if spike_multiplier > 1.0:
+                extra = round(count * (spike_multiplier - 1.0))
+                for index in range(extra):
+                    start = self.rng.uniform(
+                        spike_start * day_length,
+                        (spike_start + spike_length) * day_length)
+                    goals.append(CollectionGoal(
+                        device_names[index % len(device_names)],
+                        request_type,
+                        count=1,
+                        interval=1.0,
+                        start_after=start,
+                    ))
         goals.sort(key=lambda goal: goal.start_after)
         return goals

@@ -25,6 +25,8 @@ heal-complete contract *globally* -- plus mesh-specific invariants
 (detection within the heartbeat timeout, exactly-once forwarding).
 """
 
+import json
+
 import pytest
 
 from repro.core.system import (
@@ -35,6 +37,17 @@ from repro.core.system import (
 )
 from repro.network.topology import LinkSpec
 from repro.workloads.faults import FaultEvent, FaultPlan, apply_fault_plan
+from repro.workloads.scenarios import (
+    TIER_DETECTION_SURVIVES,
+    TIER_HEAL_COMPLETE,
+    TIER_NO_SILENT_LOSS,
+    TIER_SILENT_LOSS,
+    Scenario,
+    cascade_scenario,
+    flash_crowd_scenario,
+    rolling_upgrade_scenario,
+    split_brain_scenario,
+)
 
 OUTAGE_AT = 2.0
 OUTAGE_LEN = 30.0     # > the ~15s retransmission ladder below
@@ -283,6 +296,247 @@ class TestMeshPartitionHeal:
             assert pipeline["complete"] == pipeline["batches"]
         else:
             assert system.telemetry is None
+
+
+# -- the compound-failure scenario catalog (ISSUE 10) ---------------------
+#
+# One cell per catalog scenario; each asserts exactly the invariant tier
+# the scenario declares, through a shared tier-assertion ladder.
+
+GOSSIP_HEARTBEAT_TIMEOUT = 8.0  # 4 x the catalog's heartbeat_interval
+
+
+def _build_scenario(scenario, analysis_hosts=2, horizon=HORIZON):
+    """Build, faultify and run a catalog scenario on the matrix topology.
+
+    The scenario is *declarative*: its ``spec_overrides`` configure the
+    spec (reliability ladder, heartbeats, gossip), its ``fault_plan``
+    schedules the failures, and ``build_goals`` generates the (possibly
+    traffic-shaped) workload.
+    """
+    spec = GridTopologySpec(
+        devices=scenario.devices,
+        collector_hosts=[HostSpec("col1", "field")],
+        analysis_hosts=[HostSpec("inf%d" % (index + 1), "mgmt")
+                        for index in range(analysis_hosts)],
+        storage_host=HostSpec("stor", "mgmt"),
+        interface_host=HostSpec("iface", "mgmt"),
+        seed=11,
+        dataset_threshold=4,
+        policy="round-robin",
+        job_timeout=40.0,
+        wan=LinkSpec(latency=0.05, bandwidth=1000.0, loss_rate=0.0),
+        **scenario.spec_overrides
+    )
+    system = GridManagementSystem(spec)
+    system.collectors[0].poll_retries = 8
+    if scenario.fault_plan is not None:
+        apply_fault_plan(system, scenario.fault_plan)
+    system.assign_goals(scenario.build_goals(seed=11))
+    system.sim.run(until=horizon)
+    return system
+
+
+def _assert_tier(system, tier):
+    """The invariant ladder: each tier implies everything below it."""
+    shipped = system.collectors[0].records_shipped
+    classified = system.classifier.records_classified
+    assert shipped > 0
+    if tier == TIER_SILENT_LOSS:
+        assert classified <= shipped  # bookkeeping sanity only
+        return
+    channel = system.reliable_channel
+    dead = _dead_letter_records(channel)
+    assert classified + dead >= shipped  # no silent loss
+    if tier == TIER_NO_SILENT_LOSS:
+        return
+    # heal-complete: the faults cleared and redelivery drained the lot.
+    assert classified == shipped
+    assert channel.parked_count() == 0
+    assert channel.pending_count() == 0
+    assert not channel.permanently_dead()
+    assert system.root.datasets
+    assert all(state.finished for state in system.root.datasets.values())
+    if tier == TIER_HEAL_COMPLETE:
+        return
+    # detection-survives-root-outage: the gossip mesh converged on the
+    # root's death while the root was unreachable (asserted in detail by
+    # the split-brain cell).
+    assert tier == TIER_DETECTION_SURVIVES
+    assert system.gossip is not None
+    assert system.gossip.detection_times()
+
+
+class TestSplitBrainCell:
+    """Island = root's host + half the analyzer hosts; the severed half
+    must keep detecting, elect a stand-in, and reconcile on heal."""
+
+    PARTITION_AT = 15.0
+    HEAL_AFTER = 30.0
+
+    def _run(self):
+        scenario = split_brain_scenario(
+            island_hosts=("stor", "inf1", "inf2"),
+            partition_at=self.PARTITION_AT, heal_after=self.HEAL_AFTER)
+        assert scenario.expected_tier == TIER_DETECTION_SURVIVES
+        return _build_scenario(scenario, analysis_hosts=4)
+
+    def test_detection_survives_root_outage(self):
+        system = self._run()
+        _assert_tier(system, TIER_DETECTION_SURVIVES)
+        mesh = system.gossip
+
+        # Severed analyzers (inf3/inf4) converged on the root's death
+        # within the heartbeat timeout -- detection survived the outage.
+        detection = mesh.detection_times()
+        for severed in ("analyzer-3", "analyzer-4"):
+            assert severed in detection
+            delay = detection[severed] - self.PARTITION_AT
+            assert 0.0 < delay <= GOSSIP_HEARTBEAT_TIMEOUT
+
+        # The severed side elected the lexicographically-smallest alive
+        # analyzer among themselves as stand-in dispatcher.
+        stand_ins = mesh.stand_ins()
+        assert stand_ins["analyzer-3"] == "analyzer-3"
+        assert stand_ins["analyzer-4"] == "analyzer-3"
+
+        # After the heal, every view that confirmed the root saw its
+        # refutation (fresh incarnation) and recovered.
+        recoveries = mesh.recovery_times()
+        assert set(detection) <= set(recoveries)
+        assert all(at >= self.PARTITION_AT + self.HEAL_AFTER
+                   for at in recoveries.values())
+
+        # The root, meanwhile, evicted the severed containers via the
+        # heartbeat detector and welcomed them back -- both failure
+        # detectors ran through the same outage.
+        assert system.root.containers_evicted >= 1
+        assert system.root.containers_recovered >= 1
+
+    def test_island_half_keeps_root_alive(self):
+        system = self._run()
+        # In-island analyzers (inf1/inf2) heard the root throughout; any
+        # post-heal infection by the severed half's stale suspicion must
+        # have been refuted -- nobody ends with the root confirmed dead.
+        from repro.core.gossip import CONFIRMED
+
+        for component in system.gossip.members.values():
+            assert component.view.status("pg-root") != CONFIRMED
+
+
+class TestCascadeCell:
+    def test_rolling_overlapping_failures_heal_complete(self):
+        scenario = cascade_scenario(hosts=("inf1", "inf2"), start_at=10.0,
+                                    stagger=6.0, down_duration=15.0)
+        assert scenario.expected_tier == TIER_HEAL_COMPLETE
+        # The cascade is genuinely overlapping: host 2 fails before
+        # host 1 recovers.
+        events = list(scenario.fault_plan)
+        assert events[1].at < events[0].at + events[0].clear_after
+        system = _build_scenario(scenario)
+        _assert_tier(system, TIER_HEAL_COMPLETE)
+        # The overlap window (both hosts dark) forced real evictions and
+        # re-dispatch; recovery brought every container back.
+        assert system.root.containers_evicted >= 1
+        assert system.root.containers_recovered >= 1
+        assert len(system.interface.reports) >= 1
+
+
+class TestFlashCrowdCell:
+    def test_spike_absorbed_without_loss(self):
+        scenario = flash_crowd_scenario(spike_multiplier=10.0,
+                                        requests_per_type=4)
+        assert scenario.expected_tier == TIER_HEAL_COMPLETE
+        # The crowd genuinely backlogs the shared storage-host pipeline;
+        # the horizon gives the grid time to absorb and drain it.
+        system = _build_scenario(scenario, horizon=800.0)
+        _assert_tier(system, TIER_HEAL_COMPLETE)
+        # The crowd was real: the spiked workload shipped far more than
+        # the baseline mix alone.
+        assert system.collectors[0].records_shipped > \
+            scenario.mix.total * 2
+        assert len(system.interface.reports) >= 1
+
+    def test_multiplier_outside_catalog_band_rejected(self):
+        with pytest.raises(ValueError):
+            flash_crowd_scenario(spike_multiplier=2.0)
+        with pytest.raises(ValueError):
+            flash_crowd_scenario(spike_multiplier=500.0)
+
+
+class TestRollingUpgradeCell:
+    def test_staggered_bounces_heal_complete_without_evictions(self):
+        scenario = rolling_upgrade_scenario(
+            hosts=("inf1", "inf2"), start_at=10.0,
+            restart_duration=5.0, wave_gap=12.0)
+        assert scenario.expected_tier == TIER_HEAL_COMPLETE
+        # The waves never overlap: each restart ends before the next
+        # begins -- the validator would reject same-host overlap anyway.
+        events = list(scenario.fault_plan)
+        for first, second in zip(events, events[1:]):
+            assert first.at + first.clear_after <= second.at
+        system = _build_scenario(scenario)
+        _assert_tier(system, TIER_HEAL_COMPLETE)
+        # Each bounce (5s) stays inside the heartbeat timeout (8s): a
+        # disciplined upgrade never trips eviction, unlike the cascade.
+        assert system.root.containers_evicted == 0
+
+
+class TestScenarioComposition:
+    """flash_crowd x link_loss_burst: composition validates, runs, and is
+    deterministic (double-run byte-identical accounting)."""
+
+    def _composed(self):
+        crowd = flash_crowd_scenario(spike_multiplier=10.0,
+                                     requests_per_type=4)
+        burst = Scenario(
+            "link_loss_burst",
+            devices=crowd.devices,
+            mix=crowd.mix,
+            description="20% WAN loss for 15s",
+            fault_plan=FaultPlan([
+                FaultEvent(20.0, FaultEvent.LINK_LOSS_BURST, "wan",
+                           loss_rate=0.2, clear_after=15.0),
+            ]),
+            expected_tier=TIER_NO_SILENT_LOSS,
+        )
+        return crowd.compose(burst)
+
+    def _metrics(self, system):
+        channel = system.reliable_channel
+        return {
+            "shipped": system.collectors[0].records_shipped,
+            "classified": system.classifier.records_classified,
+            "retransmits": channel.retransmits,
+            "redelivered": channel.redelivered,
+            "reports": len(system.interface.reports),
+            "jobs_dispatched": system.root.jobs_dispatched,
+        }
+
+    def test_composition_validates_and_downgrades_tier(self):
+        composed = self._composed()
+        assert composed.name == "flash_crowd+link_loss_burst"
+        # The weaker tier wins: extra failures can only lower the bar.
+        assert composed.expected_tier == TIER_NO_SILENT_LOSS
+        assert len(list(composed.fault_plan)) == 1
+        assert composed.traffic is not None  # workload side preserved
+
+    def test_conflicting_spec_overrides_rejected(self):
+        crowd = flash_crowd_scenario(spike_multiplier=10.0)
+        other = Scenario(
+            "other", devices=crowd.devices, mix=crowd.mix,
+            spec_overrides={"reliability": False})
+        with pytest.raises(ValueError):
+            crowd.compose(other)
+
+    def test_composed_run_upholds_tier_and_is_deterministic(self):
+        first = _build_scenario(self._composed(), horizon=800.0)
+        _assert_tier(first, TIER_NO_SILENT_LOSS)
+        # The burst actually bit: the channel had to retransmit.
+        assert first.reliable_channel.retransmits > 0
+        second = _build_scenario(self._composed(), horizon=800.0)
+        assert json.dumps(self._metrics(first), sort_keys=True) == \
+            json.dumps(self._metrics(second), sort_keys=True)
 
 
 class TestScorecardFlip:

@@ -334,6 +334,334 @@ class TestChaosFaultApplication:
             ]))
 
 
+class TestKillWindowCoherence:
+    """Overlapping host_down windows on one host must agree on the end."""
+
+    def test_incompatible_overlap_rejected_at_construction(self):
+        from repro.workloads.faults import FaultPlan
+
+        with pytest.raises(ValueError, match="incompatible clear_after"):
+            FaultPlan([
+                FaultEvent(at=5.0, kind="host_down", target="h1",
+                           clear_after=10.0),   # window [5, 15)
+                FaultEvent(at=8.0, kind="host_down", target="h1",
+                           clear_after=20.0),   # window [8, 28) -- overlaps
+            ])
+
+    def test_open_ended_window_conflicts_with_bounded(self):
+        from repro.workloads.faults import FaultPlan
+
+        with pytest.raises(ValueError, match="incompatible clear_after"):
+            FaultPlan([
+                FaultEvent(at=5.0, kind="host_down", target="h1"),
+                FaultEvent(at=8.0, kind="host_down", target="h1",
+                           clear_after=4.0),
+            ])
+
+    def test_add_validates_and_leaves_plan_unchanged(self):
+        from repro.workloads.faults import FaultPlan
+
+        plan = FaultPlan([
+            FaultEvent(at=5.0, kind="host_down", target="h1",
+                       clear_after=10.0),
+        ])
+        with pytest.raises(ValueError, match="incompatible clear_after"):
+            plan.add(FaultEvent(at=8.0, kind="host_down", target="h1",
+                                clear_after=20.0))
+        assert len(plan) == 1  # rejected event was not kept
+
+    def test_identical_end_overlap_allowed(self):
+        from repro.workloads.faults import FaultPlan
+
+        # Both windows end at t=15: no recovery races the other window.
+        plan = FaultPlan([
+            FaultEvent(at=5.0, kind="host_down", target="h1",
+                       clear_after=10.0),
+            FaultEvent(at=8.0, kind="host_down", target="h1",
+                       clear_after=7.0),
+        ])
+        assert len(plan) == 2
+
+    def test_sequential_windows_allowed(self):
+        from repro.workloads.faults import FaultPlan
+
+        # The rolling-upgrade pattern: down, back, down again.
+        plan = FaultPlan([
+            FaultEvent(at=5.0, kind="host_down", target="h1",
+                       clear_after=3.0),
+            FaultEvent(at=8.0, kind="host_down", target="h1",
+                       clear_after=3.0),
+        ])
+        assert len(plan) == 2
+
+    def test_different_hosts_may_overlap(self):
+        from repro.workloads.faults import FaultPlan
+
+        # The cascade pattern: overlapping windows, distinct hosts.
+        plan = FaultPlan([
+            FaultEvent(at=5.0, kind="host_down", target="h1",
+                       clear_after=10.0),
+            FaultEvent(at=8.0, kind="host_down", target="h2",
+                       clear_after=20.0),
+        ])
+        assert len(plan) == 2
+
+    def test_cascade_plan_validates_stagger(self):
+        from repro.workloads.faults import cascade_plan
+
+        with pytest.raises(ValueError):
+            cascade_plan(["h1", "h2"], stagger=0.0)
+        plan = cascade_plan(["h1", "h2"], start_at=10.0, stagger=6.0,
+                            down_duration=15.0)
+        starts = [event.at for event in plan]
+        assert starts == [10.0, 16.0]
+        # overlapping by design: second starts before the first clears
+        assert starts[1] < starts[0] + 15.0
+
+    def test_rolling_upgrade_plan_never_overlaps(self):
+        from repro.workloads.faults import rolling_upgrade_plan
+
+        plan = rolling_upgrade_plan(["h1", "h2"], start_at=10.0,
+                                    restart_duration=5.0, wave_gap=12.0,
+                                    waves=2)
+        events = list(plan)
+        assert len(events) == 4
+        for earlier, later in zip(events, events[1:]):
+            assert earlier.at + earlier.clear_after <= later.at
+        with pytest.raises(ValueError, match="wave_gap"):
+            rolling_upgrade_plan(["h1"], restart_duration=5.0, wave_gap=5.0)
+
+
+class TestHostPartitionFaults:
+    _system = TestChaosFaultApplication._system
+
+    def test_island_target_must_be_nonempty_collection(self):
+        with pytest.raises(ValueError, match="non-empty list"):
+            FaultEvent(at=1.0, kind="host_partition", target="stor")
+        with pytest.raises(ValueError, match="non-empty list"):
+            FaultEvent(at=1.0, kind="host_partition", target=[])
+
+    def test_island_normalised_to_sorted_tuple(self):
+        event = FaultEvent(at=1.0, kind="host_partition",
+                           target={"stor", "inf1"})
+        assert event.target == ("inf1", "stor")
+
+    def test_heal_rejects_clear_after(self):
+        with pytest.raises(ValueError, match="instantaneous"):
+            FaultEvent(at=1.0, kind="host_partition_heal", target="any",
+                       clear_after=2.0)
+
+    def test_partition_with_auto_heal(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="host_partition",
+                       target=["stor", "inf1"], clear_after=3.0),
+        ]))
+        system.run(until=2)
+        assert system.network.partitioned_hosts == {"inf1", "stor"}
+        assert system.network.severed_between("stor", "col1")
+        assert not system.network.severed_between("stor", "inf1")
+        assert not system.network.severed_between("col1", "iface")
+        system.run(until=10)
+        assert system.network.partitioned_hosts == set()
+        assert not system.network.severed_between("stor", "col1")
+
+    def test_explicit_heal_event(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        apply_fault_plan(system, FaultPlan([
+            FaultEvent(at=1.0, kind="host_partition", target=["stor"]),
+            FaultEvent(at=4.0, kind="host_partition_heal", target="any"),
+        ]))
+        system.run(until=2)
+        assert system.network.partitioned_hosts == {"stor"}
+        system.run(until=10)
+        assert system.network.partitioned_hosts == set()
+
+    def test_unknown_island_hosts_raise_before_running(self):
+        from repro.workloads.faults import FaultPlan, apply_fault_plan
+
+        system = self._system()
+        with pytest.raises(KeyError, match="atlantis"):
+            apply_fault_plan(system, FaultPlan([
+                FaultEvent(at=1.0, kind="host_partition",
+                           target=["stor", "atlantis"]),
+            ]))
+
+    def test_split_brain_plan_shape(self):
+        from repro.workloads.faults import split_brain_plan
+
+        plan = split_brain_plan(["stor", "inf1"], partition_at=15.0,
+                                heal_after=30.0)
+        (event,) = list(plan)
+        assert event.kind == "host_partition"
+        assert event.target == ("inf1", "stor")
+        assert event.at == 15.0
+        assert event.clear_after == 30.0
+
+
+class TestDiurnalSpike:
+    def test_default_multiplier_replays_byte_identically(self):
+        # The spike branch must draw zero RNG at multiplier 1.0, so a
+        # pre-spike call signature and an explicit 1.0 produce the very
+        # same goal stream.
+        mix = RequestMix(10, 10, 10)
+        legacy = WorkloadGenerator(seed=7).diurnal_goals(
+            mix, ["d1", "d2"], day_length=60.0)
+        explicit = WorkloadGenerator(seed=7).diurnal_goals(
+            mix, ["d1", "d2"], day_length=60.0,
+            spike_multiplier=1.0, spike_start=0.5, spike_length=0.05)
+        assert [(g.device_name, g.request_type, g.start_after)
+                for g in legacy] == \
+               [(g.device_name, g.request_type, g.start_after)
+                for g in explicit]
+
+    def test_spike_adds_extra_goals_inside_window(self):
+        mix = RequestMix(6, 6, 6)
+        goals = WorkloadGenerator(seed=7).diurnal_goals(
+            mix, ["d1", "d2"], day_length=100.0,
+            spike_multiplier=10.0, spike_start=0.4, spike_length=0.1)
+        # round(6 * 9) extra per type on top of the diurnal 6
+        assert len(goals) == mix.total + 3 * round(6 * 9.0)
+        in_window = [g for g in goals if 40.0 <= g.start_after <= 50.0]
+        assert len(in_window) >= 3 * round(6 * 9.0)
+        starts = [g.start_after for g in goals]
+        assert starts == sorted(starts)
+
+    def test_spike_validation(self):
+        mix = RequestMix(2, 2, 2)
+        generator = WorkloadGenerator(seed=0)
+        with pytest.raises(ValueError, match="spike_multiplier"):
+            generator.diurnal_goals(mix, ["d1"], day_length=10.0,
+                                    spike_multiplier=0.5)
+        with pytest.raises(ValueError, match="spike window"):
+            generator.diurnal_goals(mix, ["d1"], day_length=10.0,
+                                    spike_multiplier=10.0,
+                                    spike_start=0.95, spike_length=0.2)
+
+    def test_traffic_shape_maps_onto_generator(self):
+        from repro.workloads.scenarios import TrafficShape
+
+        shape = TrafficShape(day_length=50.0, spike_multiplier=10.0,
+                             spike_start=0.4, spike_length=0.1)
+        mix = RequestMix(4, 4, 4)
+        shaped = shape.goals(mix, ["d1", "d2"], seed=9)
+        direct = WorkloadGenerator(seed=9).diurnal_goals(
+            mix, ["d1", "d2"], 50.0, spike_multiplier=10.0,
+            spike_start=0.4, spike_length=0.1)
+        assert [(g.device_name, g.start_after) for g in shaped] == \
+               [(g.device_name, g.start_after) for g in direct]
+        with pytest.raises(ValueError):
+            TrafficShape(day_length=0.0)
+
+
+class TestScenarioCatalog:
+    def test_catalog_lists_all_four(self):
+        from repro.workloads.scenarios import SCENARIO_CATALOG
+
+        assert sorted(SCENARIO_CATALOG) == [
+            "cascade", "flash_crowd", "rolling_upgrade", "split_brain"]
+
+    def test_catalog_scenario_lookup_and_overrides(self):
+        from repro.workloads.scenarios import (
+            TIER_DETECTION_SURVIVES, catalog_scenario,
+        )
+
+        scenario = catalog_scenario("split_brain", heal_after=40.0)
+        assert scenario.name == "split_brain"
+        assert scenario.expected_tier == TIER_DETECTION_SURVIVES
+        (event,) = list(scenario.fault_plan)
+        assert event.clear_after == 40.0
+        assert "gossip" in scenario.spec_overrides
+
+    def test_unknown_name_lists_catalog(self):
+        from repro.workloads.scenarios import catalog_scenario
+
+        with pytest.raises(KeyError, match="cascade"):
+            catalog_scenario("blackout")
+
+    def test_unknown_tier_rejected(self):
+        from repro.workloads.scenarios import Scenario
+
+        with pytest.raises(ValueError, match="invariant tier"):
+            Scenario("bad", devices=[DeviceSpec("d1", "server", "s")],
+                     mix=RequestMix(1, 1, 1), expected_tier="bulletproof")
+
+    def test_flash_crowd_multiplier_band(self):
+        from repro.workloads.scenarios import flash_crowd_scenario
+
+        for bad in (1.0, 9.9, 101.0):
+            with pytest.raises(ValueError):
+                flash_crowd_scenario(spike_multiplier=bad)
+
+    def test_build_goals_prefers_traffic_shape(self):
+        from repro.workloads.scenarios import flash_crowd_scenario
+
+        scenario = flash_crowd_scenario(spike_multiplier=10.0,
+                                        requests_per_type=4)
+        goals = scenario.build_goals(seed=3)
+        assert len(goals) > scenario.mix.total  # spike extras present
+
+    def test_compose_downgrades_tier_and_merges_plans(self):
+        from repro.workloads.faults import FaultPlan
+        from repro.workloads.scenarios import (
+            TIER_NO_SILENT_LOSS, Scenario, cascade_scenario,
+        )
+
+        burst = Scenario(
+            "link_loss_burst",
+            devices=[DeviceSpec("d1", "server", "s")],
+            mix=RequestMix(1, 1, 1),
+            fault_plan=FaultPlan([
+                FaultEvent(at=20.0, kind="link_loss_burst", target="wan",
+                           loss_rate=0.2, clear_after=15.0),
+            ]),
+            expected_tier=TIER_NO_SILENT_LOSS,
+        )
+        base = cascade_scenario()
+        composed = base.compose(burst)
+        assert composed.name == "cascade+link_loss_burst"
+        assert composed.expected_tier == TIER_NO_SILENT_LOSS  # weaker wins
+        assert len(composed.fault_plan) == \
+            len(base.fault_plan) + 1
+        # composition keeps the base workload
+        assert composed.devices == base.devices
+        assert composed.traffic is base.traffic
+
+    def test_compose_rejects_conflicting_overrides(self):
+        from repro.workloads.scenarios import Scenario, cascade_scenario
+
+        other = Scenario(
+            "conflict",
+            devices=[DeviceSpec("d1", "server", "s")],
+            mix=RequestMix(1, 1, 1),
+            spec_overrides={"heartbeat_interval": 99.0},
+        )
+        with pytest.raises(ValueError, match="conflicting spec override"):
+            cascade_scenario().compose(other)
+
+    def test_compose_rejects_incoherent_merged_kill_windows(self):
+        from repro.workloads.faults import FaultPlan
+        from repro.workloads.scenarios import Scenario, cascade_scenario
+
+        # inf1 is down [10, 25) in the cascade; an overlapping window
+        # with a different end must be rejected at composition time.
+        clashing = Scenario(
+            "clash",
+            devices=[DeviceSpec("d1", "server", "s")],
+            mix=RequestMix(1, 1, 1),
+            fault_plan=FaultPlan([
+                FaultEvent(at=12.0, kind="host_down", target="inf1",
+                           clear_after=30.0),
+            ]),
+        )
+        with pytest.raises(ValueError, match="incompatible clear_after"):
+            cascade_scenario().compose(clashing)
+
+
 class TestAccounting:
     def _report(self, label, host_units):
         rows = [
